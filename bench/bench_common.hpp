@@ -1,0 +1,82 @@
+/// \file bench_common.hpp
+/// Shared scaffolding for the experiment-reproduction binaries: flag
+/// parsing (suite size, per-case budget, parallelism) and run-matrix
+/// helpers.  Each bench binary reproduces one table or figure of the paper
+/// (see EXPERIMENTS.md for the index and the expected shapes).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/runner.hpp"
+#include "circuits/suite.hpp"
+#include "util/options.hpp"
+
+namespace pilot::bench {
+
+struct BenchArgs {
+  circuits::SuiteSize suite = circuits::SuiteSize::kQuick;
+  std::int64_t budget_ms = 2000;
+  std::int64_t jobs = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Parses the common bench flags; returns false if --help was shown or the
+/// arguments were invalid.
+inline bool parse_bench_args(int argc, const char* const* argv,
+                             const std::string& description, BenchArgs* out) {
+  std::string suite = "quick";
+  std::int64_t budget_ms = out->budget_ms;
+  std::int64_t jobs = 0;
+  std::int64_t seed = 0;
+  OptionParser parser(description);
+  parser.add_choice("suite", &suite, {"tiny", "quick", "full"},
+                    "benchmark suite size (HWMCC substitute, see DESIGN.md)");
+  parser.add_int("budget-ms", &budget_ms,
+                 "per-case wall-clock budget in milliseconds");
+  parser.add_int("jobs", &jobs, "worker threads (0 = hardware concurrency)");
+  parser.add_int("seed", &seed, "engine seed");
+  if (!parser.parse(argc, argv)) return false;
+  out->suite = circuits::suite_size_from_string(suite);
+  out->budget_ms = budget_ms;
+  out->jobs = jobs;
+  out->seed = static_cast<std::uint64_t>(seed);
+  return true;
+}
+
+/// Runs the (suite × engines) matrix with the standard options.
+inline std::vector<check::RunRecord> run_suite(
+    const BenchArgs& args, const std::vector<check::EngineKind>& engines) {
+  const std::vector<circuits::CircuitCase> cases =
+      circuits::make_suite(args.suite);
+  check::RunMatrixOptions options;
+  options.budget_ms = args.budget_ms;
+  options.jobs = static_cast<std::size_t>(args.jobs);
+  options.seed = args.seed;
+  return check::run_matrix(cases, engines, options);
+}
+
+/// Groups records per engine, preserving case order.
+inline std::map<check::EngineKind, std::vector<check::RunRecord>> by_engine(
+    const std::vector<check::RunRecord>& records) {
+  std::map<check::EngineKind, std::vector<check::RunRecord>> out;
+  for (const auto& r : records) out[r.engine].push_back(r);
+  return out;
+}
+
+/// Paper-style configuration label (Table 1 row names).
+inline const char* paper_label(check::EngineKind kind) {
+  switch (kind) {
+    case check::EngineKind::kIc3Down: return "RIC3";
+    case check::EngineKind::kIc3DownPl: return "RIC3-pl";
+    case check::EngineKind::kIc3Ctg: return "IC3ref";
+    case check::EngineKind::kIc3CtgPl: return "IC3ref-pl";
+    case check::EngineKind::kIc3Cav23: return "IC3ref-CAV23";
+    case check::EngineKind::kPdr: return "ABC-PDR";
+    default: return check::to_string(kind);
+  }
+}
+
+}  // namespace pilot::bench

@@ -1,0 +1,57 @@
+/// \file table2_success_rates.cpp
+/// Reproduces **Table 2: Average Success Rates** for the two `-pl`
+/// configurations:
+///   SR_lp  = N_sp / N_p   (lemma-prediction success per prediction query)
+///   SR_fp  = N_fp / N_g   (generalizations that found a failed-push parent)
+///   SR_adv = N_sp / N_g   (generalizations that skipped variable dropping)
+///
+/// Paper values (HWMCC, 1000 s): RIC3-pl 38.61 / 40.67 / 24.03 %,
+/// IC3ref-pl 31.5 / 37.81 / 19.46 %.  Rates are averaged per case (cases
+/// with zero generalizations are skipped), matching the paper's
+/// "average success rates" phrasing.
+#include "bench_common.hpp"
+
+using namespace pilot;
+using namespace pilot::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args;
+  if (!parse_bench_args(argc, argv,
+                        "table2_success_rates — Table 2: Average Success "
+                        "Rates",
+                        &args)) {
+    return 1;
+  }
+  const std::vector<check::EngineKind> engines{
+      check::EngineKind::kIc3DownPl, check::EngineKind::kIc3CtgPl};
+  const auto records = run_suite(args, engines);
+  const auto groups = by_engine(records);
+
+  std::printf("Table 2: Average Success Rates  (budget %lld ms)\n\n",
+              static_cast<long long>(args.budget_ms));
+  std::printf("%-14s %12s %12s %12s %10s\n", "Configuration", "Avg SR_lp",
+              "Avg SR_fp", "Avg SR_adv", "cases");
+  for (const check::EngineKind kind : engines) {
+    double sum_lp = 0.0;
+    double sum_fp = 0.0;
+    double sum_adv = 0.0;
+    int counted = 0;
+    for (const auto& r : groups.at(kind)) {
+      if (r.stats.num_generalizations == 0) continue;
+      sum_lp += r.stats.sr_lp();
+      sum_fp += r.stats.sr_fp();
+      sum_adv += r.stats.sr_adv();
+      ++counted;
+    }
+    if (counted == 0) counted = 1;
+    std::printf("%-14s %11.2f%% %11.2f%% %11.2f%% %10d\n", paper_label(kind),
+                100.0 * sum_lp / counted, 100.0 * sum_fp / counted,
+                100.0 * sum_adv / counted, counted);
+  }
+  std::printf(
+      "\nShape check vs paper: SR_fp > SR_lp > SR_adv in rough magnitude\n"
+      "(paper: 38.61/40.67/24.03 for RIC3-pl, 31.5/37.81/19.46 for "
+      "IC3ref-pl);\nprediction succeeds for a substantial fraction of "
+      "generalizations once\na failed-push parent is found.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// \file lock_race.cpp
+/// The scenario motivating the paper: deep combination locks make IC3's
+/// generalization grind through literal-dropping SAT queries, and many of
+/// the resulting lemmas fail to propagate — exactly the counterexamples to
+/// propagation the predictor feeds on.
+///
+/// This example races all six paper configurations on one lock family and
+/// prints a small league table plus the prediction statistics, showing
+/// where the `-pl` variants gain.
+///
+/// Run:  ./build/examples/lock_race [--stages N] [--width W] [--budget-ms N]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "circuits/families.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+using namespace pilot;
+
+int main(int argc, char** argv) {
+  std::int64_t stages = 8;
+  std::int64_t width = 3;
+  std::int64_t budget_ms = 10000;
+  OptionParser parser("lock_race — all configurations on a combination lock");
+  parser.add_int("stages", &stages, "number of lock digits (cex depth)");
+  parser.add_int("width", &width, "input width in bits");
+  parser.add_int("budget-ms", &budget_ms, "per-engine budget");
+  if (!parser.parse(argc, argv)) return 1;
+
+  Rng rng(42);
+  std::vector<std::uint64_t> digits;
+  const std::uint64_t mask = (1ULL << width) - 1;
+  for (std::int64_t i = 0; i < stages; ++i) {
+    digits.push_back(rng.next_u64() & mask);
+  }
+
+  const circuits::CircuitCase unsafe_lock = circuits::combination_lock_unsafe(
+      static_cast<std::size_t>(width), digits);
+  const circuits::CircuitCase safe_lock = circuits::combination_lock_safe(
+      static_cast<std::size_t>(width), digits,
+      static_cast<std::size_t>(stages / 2));
+
+  std::printf("lock_race: %lld-stage lock over %lld-bit input, budget %lldms\n\n",
+              static_cast<long long>(stages), static_cast<long long>(width),
+              static_cast<long long>(budget_ms));
+  std::printf("%-14s | %-22s | %-22s\n", "config",
+              "unsafe lock (deep cex)", "safe lock (invariant)");
+  std::printf("%-14s-+-%-22s-+-%-22s\n", "--------------",
+              "----------------------", "----------------------");
+
+  for (const check::EngineKind kind : check::paper_configurations()) {
+    check::CheckOptions opts;
+    opts.engine = kind;
+    opts.budget_ms = budget_ms;
+
+    const check::CheckResult ru = check::check_aig(unsafe_lock.aig, opts);
+    const check::CheckResult rs = check::check_aig(safe_lock.aig, opts);
+
+    auto cell = [](const check::CheckResult& r) {
+      char buf[64];
+      if (r.verdict == ic3::Verdict::kUnknown) {
+        std::snprintf(buf, sizeof buf, "timeout");
+      } else {
+        std::snprintf(buf, sizeof buf, "%-7s %7.3fs",
+                      ic3::to_string(r.verdict), r.seconds);
+      }
+      return std::string(buf);
+    };
+    std::printf("%-14s | %-22s | %-22s\n", check::to_string(kind),
+                cell(ru).c_str(), cell(rs).c_str());
+    if (ru.stats.num_prediction_queries + rs.stats.num_prediction_queries >
+        0) {
+      std::printf("%-14s |   SR_lp=%5.1f%%  SR_fp=%5.1f%%  SR_adv=%5.1f%% "
+                  "(combined)\n",
+                  "", 100.0 * (ru.stats.sr_lp() + rs.stats.sr_lp()) / 2,
+                  100.0 * (ru.stats.sr_fp() + rs.stats.sr_fp()) / 2,
+                  100.0 * (ru.stats.sr_adv() + rs.stats.sr_adv()) / 2);
+    }
+  }
+  std::printf(
+      "\nReading the table: the -pl rows avoid part of the literal-dropping\n"
+      "work whenever a failed-push parent lemma predicts the next lemma.\n");
+  return 0;
+}

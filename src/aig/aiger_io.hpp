@@ -1,0 +1,38 @@
+/// \file aiger_io.hpp
+/// AIGER 1.x reader and writer (ASCII `aag` and binary `aig` formats),
+/// including the AIGER 1.9 `B` (bad state) and `C` (invariant constraint)
+/// sections used by HWMCC benchmarks.
+///
+/// Reading normalizes the circuit through the structural-hashing builder, so
+/// a parsed AIG is always fold-canonical; semantic equivalence (not node
+/// identity) is the round-trip guarantee, and it is checked in the tests by
+/// co-simulation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace pilot::aig {
+
+/// Parses an AIGER file (auto-detects `aag` vs `aig` from the header).
+/// Throws std::runtime_error with a location-annotated message on malformed
+/// input.
+Aig read_aiger(std::istream& in);
+Aig read_aiger_string(const std::string& text);
+Aig read_aiger_file(const std::string& path);
+
+/// Serializes to the ASCII format (`aag`).
+void write_aiger_ascii(const Aig& aig, std::ostream& out);
+std::string to_aiger_ascii(const Aig& aig);
+
+/// Serializes to the binary format (`aig`).
+void write_aiger_binary(const Aig& aig, std::ostream& out);
+std::string to_aiger_binary(const Aig& aig);
+
+/// Writes to a file, choosing the format from the extension
+/// (".aag" → ASCII, anything else → binary).
+void write_aiger_file(const Aig& aig, const std::string& path);
+
+}  // namespace pilot::aig

@@ -1,0 +1,73 @@
+#include "aig/simulation.hpp"
+
+#include <cassert>
+
+namespace pilot::aig {
+
+BitSimulator::BitSimulator(const Aig& aig)
+    : aig_(aig), values_(aig.num_nodes(), 0), state_(aig.num_nodes(), 0) {
+  reset();
+}
+
+void BitSimulator::reset(std::uint64_t undef_fill) {
+  for (const std::uint32_t n : aig_.latches()) {
+    const LBool init = aig_.init(n);
+    if (init == l_True) {
+      state_[n] = ~0ULL;
+    } else if (init == l_False) {
+      state_[n] = 0;
+    } else {
+      state_[n] = undef_fill;
+    }
+  }
+}
+
+void BitSimulator::set_latch(std::uint32_t latch_node, std::uint64_t value) {
+  assert(aig_.is_latch(latch_node));
+  state_[latch_node] = value;
+}
+
+void BitSimulator::compute(std::span<const std::uint64_t> inputs) {
+  assert(inputs.size() == aig_.num_inputs());
+  values_[0] = 0;  // constant false
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    values_[aig_.inputs()[i]] = inputs[i];
+  }
+  for (const std::uint32_t n : aig_.latches()) values_[n] = state_[n];
+  for (const std::uint32_t n : aig_.ands()) {
+    values_[n] = value(aig_.fanin0(n)) & value(aig_.fanin1(n));
+  }
+}
+
+void BitSimulator::latch_step() {
+  // Two phases so that latch-to-latch feed-through uses pre-step values.
+  std::vector<std::uint64_t> next_state;
+  next_state.reserve(aig_.latches().size());
+  for (const std::uint32_t n : aig_.latches()) {
+    next_state.push_back(value(aig_.next(n)));
+  }
+  for (std::size_t i = 0; i < aig_.latches().size(); ++i) {
+    state_[aig_.latches()[i]] = next_state[i];
+  }
+}
+
+TernarySimulator::TernarySimulator(const Aig& aig)
+    : aig_(aig), values_(aig.num_nodes(), TV::kX) {}
+
+void TernarySimulator::compute(std::span<const TV> latch_values,
+                               std::span<const TV> input_values) {
+  assert(latch_values.size() == aig_.num_latches());
+  assert(input_values.size() == aig_.num_inputs());
+  values_[0] = TV::kZero;
+  for (std::size_t i = 0; i < input_values.size(); ++i) {
+    values_[aig_.inputs()[i]] = input_values[i];
+  }
+  for (std::size_t i = 0; i < latch_values.size(); ++i) {
+    values_[aig_.latches()[i]] = latch_values[i];
+  }
+  for (const std::uint32_t n : aig_.ands()) {
+    values_[n] = tv_and(value(aig_.fanin0(n)), value(aig_.fanin1(n)));
+  }
+}
+
+}  // namespace pilot::aig

@@ -1,0 +1,94 @@
+/// \file simulation.hpp
+/// Bit-parallel and ternary simulation of AIGs.
+///
+/// `BitSimulator` evaluates 64 independent Boolean patterns per word and is
+/// used for counterexample replay (1 pattern) and for randomized
+/// cross-validation of the CNF encoding (64 patterns at a time).
+///
+/// `TernarySimulator` evaluates over {0,1,X} and supports the classic
+/// PDR-style ternary lifting: starting from a full assignment, latches are
+/// X-ed out one at a time while the observed outputs stay definite.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace pilot::aig {
+
+/// 64-way bit-parallel simulator.
+class BitSimulator {
+ public:
+  explicit BitSimulator(const Aig& aig);
+
+  /// Resets every latch to its initial value (uninitialized latches get the
+  /// bits of `undef_fill`, default all-zero).
+  void reset(std::uint64_t undef_fill = 0);
+
+  /// Sets the current value of a latch (overriding reset/step results).
+  void set_latch(std::uint32_t latch_node, std::uint64_t value);
+
+  /// Evaluates all combinational logic for the given input patterns
+  /// (`inputs[i]` feeds the i-th primary input).  Latch values are taken
+  /// from the current state.
+  void compute(std::span<const std::uint64_t> inputs);
+
+  /// Advances the registers: current state := next-state functions
+  /// (compute() must have been called).
+  void latch_step();
+
+  /// Value of an arbitrary literal after compute().
+  [[nodiscard]] std::uint64_t value(AigLit lit) const {
+    const std::uint64_t v = values_[lit.node()];
+    return lit.negated() ? ~v : v;
+  }
+
+  /// Current state value of a latch.
+  [[nodiscard]] std::uint64_t latch_value(std::uint32_t latch_node) const {
+    return state_[latch_node];
+  }
+
+ private:
+  const Aig& aig_;
+  std::vector<std::uint64_t> values_;  // per node, after compute()
+  std::vector<std::uint64_t> state_;   // per node (latches only meaningful)
+};
+
+/// Three-valued logic constants for ternary simulation.
+enum class TV : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+inline TV tv_not(TV a) {
+  if (a == TV::kX) return TV::kX;
+  return a == TV::kZero ? TV::kOne : TV::kZero;
+}
+inline TV tv_and(TV a, TV b) {
+  if (a == TV::kZero || b == TV::kZero) return TV::kZero;
+  if (a == TV::kOne && b == TV::kOne) return TV::kOne;
+  return TV::kX;
+}
+
+/// Ternary ({0,1,X}) simulator over one step of the circuit.
+class TernarySimulator {
+ public:
+  explicit TernarySimulator(const Aig& aig);
+
+  /// Assigns latches/inputs and evaluates the combinational logic.
+  /// `latch_values[i]` corresponds to aig.latches()[i], `input_values[i]`
+  /// to aig.inputs()[i].
+  void compute(std::span<const TV> latch_values,
+               std::span<const TV> input_values);
+
+  /// Value of a literal after compute().
+  [[nodiscard]] TV value(AigLit lit) const {
+    const TV v = values_[lit.node()];
+    return lit.negated() ? tv_not(v) : v;
+  }
+
+ private:
+  const Aig& aig_;
+  std::vector<TV> values_;
+};
+
+}  // namespace pilot::aig

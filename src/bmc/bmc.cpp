@@ -1,0 +1,62 @@
+#include "bmc/bmc.hpp"
+
+#include "ic3/cube.hpp"
+#include "sat/solver.hpp"
+#include "ts/unroller.hpp"
+
+namespace pilot::bmc {
+
+BmcResult run_bmc(const ts::TransitionSystem& ts, const BmcOptions& options,
+                  pilot::Deadline deadline) {
+  Timer timer;
+  BmcResult result;
+  sat::Solver solver;
+  solver.set_seed(options.seed);
+  ts::Unroller unroller(ts, solver, /*assert_init=*/true);
+
+  for (int k = 0; k <= options.max_bound; ++k) {
+    if (deadline.expired()) {
+      result.seconds = timer.seconds();
+      return result;
+    }
+    unroller.extend_to(k);
+    const std::vector<sat::Lit> assumptions{unroller.bad(k)};
+    const sat::SolveResult res = solver.solve(assumptions, deadline);
+    if (res == sat::SolveResult::kUnknown) {
+      result.seconds = timer.seconds();
+      return result;  // kUnknown
+    }
+    if (res == sat::SolveResult::kSat) {
+      result.verdict = BmcVerdict::kUnsafe;
+      result.counterexample_length = k;
+      // Assemble a concrete trace from the model.
+      Trace trace;
+      for (int f = 0; f <= k; ++f) {
+        std::vector<sat::Lit> state;
+        for (std::size_t i = 0; i < ts.num_latches(); ++i) {
+          const sat::LBool v = solver.model_value(
+              sat::Lit::make(unroller.state_var(i, f)));
+          if (v.is_undef()) continue;
+          state.push_back(sat::Lit::make(ts.state_var(i), v.is_false()));
+        }
+        std::vector<sat::Lit> inputs;
+        for (std::size_t i = 0; i < ts.num_inputs(); ++i) {
+          const sat::LBool v = solver.model_value(
+              sat::Lit::make(unroller.input_var(i, f)));
+          if (v.is_undef()) continue;
+          inputs.push_back(sat::Lit::make(ts.input_var(i), v.is_false()));
+        }
+        trace.states.push_back(ic3::Cube::from_lits(std::move(state)));
+        trace.inputs.push_back(std::move(inputs));
+      }
+      result.trace = std::move(trace);
+      result.seconds = timer.seconds();
+      return result;
+    }
+  }
+  result.verdict = BmcVerdict::kBoundReached;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace pilot::bmc

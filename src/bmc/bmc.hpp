@@ -1,0 +1,38 @@
+/// \file bmc.hpp
+/// Bounded model checking over the incremental unroller.
+///
+/// BMC is complete for finding counterexamples up to the bound and serves
+/// two roles here: an independent oracle cross-checking IC3's UNSAFE
+/// verdicts in the tests, and a comparator engine in the harness.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ic3/witness.hpp"
+#include "ts/transition_system.hpp"
+#include "util/timer.hpp"
+
+namespace pilot::bmc {
+
+using ic3::Trace;
+
+enum class BmcVerdict { kUnsafe, kBoundReached, kUnknown };
+
+struct BmcResult {
+  BmcVerdict verdict = BmcVerdict::kUnknown;
+  int counterexample_length = -1;  // steps to bad (0 = bad in init)
+  double seconds = 0.0;
+  std::optional<Trace> trace;
+};
+
+struct BmcOptions {
+  int max_bound = 1000;
+  std::uint64_t seed = 0;
+};
+
+/// Checks bad reachability for bounds 0..max_bound incrementally.
+BmcResult run_bmc(const ts::TransitionSystem& ts, const BmcOptions& options,
+                  pilot::Deadline deadline = {});
+
+}  // namespace pilot::bmc

@@ -1,0 +1,35 @@
+/// \file kinduction.hpp
+/// K-induction: proves safety when  (no cex up to k)  and
+/// (any k+1 consecutive non-bad states cannot step into bad).
+///
+/// Uses two incremental unrollers: a BMC-style base case and an unconstrained
+/// step case with simple-path constraints (pairwise state disequality) to
+/// guarantee completeness on finite systems.
+#pragma once
+
+#include <cstdint>
+
+#include "ts/transition_system.hpp"
+#include "util/timer.hpp"
+
+namespace pilot::bmc {
+
+enum class KindVerdict { kSafe, kUnsafe, kBoundReached, kUnknown };
+
+struct KindResult {
+  KindVerdict verdict = KindVerdict::kUnknown;
+  int k = -1;  // proof depth or counterexample length
+  double seconds = 0.0;
+};
+
+struct KindOptions {
+  int max_k = 200;
+  bool simple_path = true;
+  std::uint64_t seed = 0;
+};
+
+KindResult run_kinduction(const ts::TransitionSystem& ts,
+                          const KindOptions& options,
+                          pilot::Deadline deadline = {});
+
+}  // namespace pilot::bmc

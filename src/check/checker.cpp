@@ -1,0 +1,165 @@
+#include "check/checker.hpp"
+
+#include <stdexcept>
+
+#include "bmc/bmc.hpp"
+#include "bmc/kinduction.hpp"
+
+namespace pilot::check {
+
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kIc3Down: return "ic3-down";
+    case EngineKind::kIc3DownPl: return "ic3-down-pl";
+    case EngineKind::kIc3Ctg: return "ic3-ctg";
+    case EngineKind::kIc3CtgPl: return "ic3-ctg-pl";
+    case EngineKind::kIc3Cav23: return "ic3-cav23";
+    case EngineKind::kPdr: return "pdr";
+    case EngineKind::kBmc: return "bmc";
+    case EngineKind::kKinduction: return "kind";
+  }
+  return "?";
+}
+
+EngineKind engine_kind_from_string(const std::string& name) {
+  for (const EngineKind k :
+       {EngineKind::kIc3Down, EngineKind::kIc3DownPl, EngineKind::kIc3Ctg,
+        EngineKind::kIc3CtgPl, EngineKind::kIc3Cav23, EngineKind::kPdr,
+        EngineKind::kBmc, EngineKind::kKinduction}) {
+    if (name == to_string(k)) return k;
+  }
+  throw std::invalid_argument("unknown engine '" + name + "'");
+}
+
+const std::vector<EngineKind>& paper_configurations() {
+  static const std::vector<EngineKind> kConfigs{
+      EngineKind::kIc3Down,  EngineKind::kIc3DownPl, EngineKind::kIc3Ctg,
+      EngineKind::kIc3CtgPl, EngineKind::kIc3Cav23,  EngineKind::kPdr,
+  };
+  return kConfigs;
+}
+
+ic3::Config config_for(EngineKind kind, std::uint64_t seed) {
+  ic3::Config cfg;
+  cfg.seed = seed;
+  switch (kind) {
+    case EngineKind::kIc3Down:
+      cfg.gen_mode = ic3::GenMode::kDown;
+      break;
+    case EngineKind::kIc3DownPl:
+      cfg.gen_mode = ic3::GenMode::kDown;
+      cfg.predict_lemmas = true;
+      break;
+    case EngineKind::kIc3Ctg:
+      cfg.gen_mode = ic3::GenMode::kCtg;
+      break;
+    case EngineKind::kIc3CtgPl:
+      cfg.gen_mode = ic3::GenMode::kCtg;
+      cfg.predict_lemmas = true;
+      break;
+    case EngineKind::kIc3Cav23:
+      cfg.gen_mode = ic3::GenMode::kCav23;
+      break;
+    case EngineKind::kPdr:
+      cfg.apply_profile(ic3::Profile::kPdr);
+      break;
+    default:
+      throw std::invalid_argument("config_for: not an IC3-family engine");
+  }
+  return cfg;
+}
+
+namespace {
+
+CheckResult run_ic3(const ts::TransitionSystem& ts,
+                    const CheckOptions& options) {
+  ic3::Config cfg = options.ic3_overrides.has_value()
+                        ? *options.ic3_overrides
+                        : config_for(options.engine, options.seed);
+  ic3::Engine engine(ts, cfg);
+  const Deadline deadline = options.budget_ms > 0
+                                ? Deadline::in_milliseconds(options.budget_ms)
+                                : Deadline{};
+  ic3::Result r = engine.check(deadline);
+
+  CheckResult out;
+  out.verdict = r.verdict;
+  out.seconds = r.seconds;
+  out.stats = r.stats;
+  out.frames = r.frames;
+  if (options.verify_witness) {
+    if (r.verdict == ic3::Verdict::kUnsafe && r.trace.has_value()) {
+      const ic3::CheckOutcome c = ic3::check_trace(ts, *r.trace);
+      out.witness_checked = c.ok;
+      out.witness_error = c.reason;
+    } else if (r.verdict == ic3::Verdict::kSafe && r.invariant.has_value()) {
+      const ic3::CheckOutcome c = ic3::check_invariant(ts, *r.invariant);
+      out.witness_checked = c.ok;
+      out.witness_error = c.reason;
+    }
+  }
+  out.trace = std::move(r.trace);
+  out.invariant = std::move(r.invariant);
+  return out;
+}
+
+CheckResult run_bmc_engine(const ts::TransitionSystem& ts,
+                           const CheckOptions& options) {
+  bmc::BmcOptions bo;
+  bo.seed = options.seed;
+  const Deadline deadline = options.budget_ms > 0
+                                ? Deadline::in_milliseconds(options.budget_ms)
+                                : Deadline{};
+  bmc::BmcResult r = bmc::run_bmc(ts, bo, deadline);
+  CheckResult out;
+  out.seconds = r.seconds;
+  if (r.verdict == bmc::BmcVerdict::kUnsafe) {
+    out.verdict = ic3::Verdict::kUnsafe;
+    if (options.verify_witness && r.trace.has_value()) {
+      const ic3::CheckOutcome c = ic3::check_trace(ts, *r.trace);
+      out.witness_checked = c.ok;
+      out.witness_error = c.reason;
+    }
+    out.trace = std::move(r.trace);
+  }
+  return out;  // bound reached / unknown → kUnknown (BMC cannot prove)
+}
+
+CheckResult run_kind_engine(const ts::TransitionSystem& ts,
+                            const CheckOptions& options) {
+  bmc::KindOptions ko;
+  ko.seed = options.seed;
+  const Deadline deadline = options.budget_ms > 0
+                                ? Deadline::in_milliseconds(options.budget_ms)
+                                : Deadline{};
+  const bmc::KindResult r = bmc::run_kinduction(ts, ko, deadline);
+  CheckResult out;
+  out.seconds = r.seconds;
+  if (r.verdict == bmc::KindVerdict::kSafe) out.verdict = ic3::Verdict::kSafe;
+  if (r.verdict == bmc::KindVerdict::kUnsafe) {
+    out.verdict = ic3::Verdict::kUnsafe;
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckResult check_ts(const ts::TransitionSystem& ts,
+                     const CheckOptions& options) {
+  switch (options.engine) {
+    case EngineKind::kBmc:
+      return run_bmc_engine(ts, options);
+    case EngineKind::kKinduction:
+      return run_kind_engine(ts, options);
+    default:
+      return run_ic3(ts, options);
+  }
+}
+
+CheckResult check_aig(const aig::Aig& aig, const CheckOptions& options) {
+  const ts::TransitionSystem ts =
+      ts::TransitionSystem::from_aig(aig, options.property_index);
+  return check_ts(ts, options);
+}
+
+}  // namespace pilot::check

@@ -1,0 +1,74 @@
+/// \file checker.hpp
+/// Unified model-checking front door: pick an engine configuration, get a
+/// verdict with a certified witness.
+///
+/// The six configurations evaluated in the paper map onto EngineKind as
+/// follows (DESIGN.md §2):
+///   RIC3         → kIc3Down       RIC3-pl      → kIc3DownPl
+///   IC3ref       → kIc3Ctg        IC3ref-pl    → kIc3CtgPl
+///   IC3ref-CAV23 → kIc3Cav23      ABC-PDR      → kPdr
+/// plus the kBmc / kKinduction baselines for cross-checking.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "ic3/engine.hpp"
+#include "ts/transition_system.hpp"
+#include "util/timer.hpp"
+
+namespace pilot::check {
+
+enum class EngineKind {
+  kIc3Down,
+  kIc3DownPl,
+  kIc3Ctg,
+  kIc3CtgPl,
+  kIc3Cav23,
+  kPdr,
+  kBmc,
+  kKinduction,
+};
+
+[[nodiscard]] const char* to_string(EngineKind kind);
+[[nodiscard]] EngineKind engine_kind_from_string(const std::string& name);
+
+/// All paper configurations, in Table 1 order.
+[[nodiscard]] const std::vector<EngineKind>& paper_configurations();
+
+struct CheckOptions {
+  EngineKind engine = EngineKind::kIc3Ctg;
+  std::int64_t budget_ms = 0;  // 0 = unlimited
+  std::uint64_t seed = 0;
+  std::size_t property_index = 0;
+  /// Certify witnesses (trace replay / invariant re-check) after solving.
+  bool verify_witness = true;
+  /// Extra IC3 knobs forwarded verbatim (ablations).
+  std::optional<ic3::Config> ic3_overrides;
+};
+
+struct CheckResult {
+  ic3::Verdict verdict = ic3::Verdict::kUnknown;
+  double seconds = 0.0;
+  ic3::Ic3Stats stats;           // meaningful for IC3 engines
+  std::size_t frames = 0;
+  bool witness_checked = false;  // a certificate was produced and verified
+  std::string witness_error;     // non-empty if certification failed
+  std::optional<ic3::Trace> trace;                  // UNSAFE certificate
+  std::optional<ic3::InductiveInvariant> invariant; // SAFE certificate
+};
+
+/// Builds the ic3::Config corresponding to an IC3-family EngineKind.
+[[nodiscard]] ic3::Config config_for(EngineKind kind, std::uint64_t seed);
+
+/// Checks property `property_index` of `aig` with the chosen engine.
+CheckResult check_aig(const aig::Aig& aig, const CheckOptions& options);
+
+/// Same, over an already-built transition system.
+CheckResult check_ts(const ts::TransitionSystem& ts,
+                     const CheckOptions& options);
+
+}  // namespace pilot::check

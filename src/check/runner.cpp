@@ -1,0 +1,98 @@
+#include "check/runner.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace pilot::check {
+
+std::vector<RunRecord> run_matrix(
+    const std::vector<circuits::CircuitCase>& cases,
+    const std::vector<EngineKind>& engines,
+    const RunMatrixOptions& options) {
+  struct Job {
+    std::size_t case_index;
+    EngineKind engine;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(cases.size() * engines.size());
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    for (const EngineKind e : engines) jobs.push_back(Job{c, e});
+  }
+
+  std::vector<RunRecord> records(jobs.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> soundness_violated{false};
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t j = next.fetch_add(1);
+      if (j >= jobs.size()) return;
+      const Job& job = jobs[j];
+      const circuits::CircuitCase& cc = cases[job.case_index];
+
+      CheckOptions co;
+      co.engine = job.engine;
+      co.budget_ms = options.budget_ms;
+      co.seed = options.seed;
+      co.verify_witness = options.verify_witness;
+      const CheckResult res = check_aig(cc.aig, co);
+
+      RunRecord rec;
+      rec.case_name = cc.name;
+      rec.family = cc.family;
+      rec.engine = job.engine;
+      rec.expected_safe = cc.expected_safe;
+      rec.verdict = res.verdict;
+      rec.solved = res.verdict != ic3::Verdict::kUnknown;
+      rec.seconds = res.seconds;
+      rec.frames = res.frames;
+      rec.stats = res.stats;
+
+      if (rec.solved) {
+        const bool got_safe = res.verdict == ic3::Verdict::kSafe;
+        if (got_safe != cc.expected_safe) {
+          std::fprintf(stderr,
+                       "SOUNDNESS VIOLATION: %s with %s reported %s but the "
+                       "construction guarantees %s\n",
+                       cc.name.c_str(), to_string(job.engine),
+                       ic3::to_string(res.verdict),
+                       cc.expected_safe ? "SAFE" : "UNSAFE");
+          soundness_violated.store(true);
+        }
+        if (options.verify_witness && !res.witness_error.empty()) {
+          std::fprintf(stderr, "WITNESS CHECK FAILED: %s with %s: %s\n",
+                       cc.name.c_str(), to_string(job.engine),
+                       res.witness_error.c_str());
+          soundness_violated.store(true);
+        }
+      }
+      records[j] = std::move(rec);
+    }
+  };
+
+  std::size_t n_threads = options.jobs;
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  n_threads = std::min(n_threads, jobs.size());
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  if (soundness_violated.load() && options.strict) {
+    std::fprintf(stderr, "aborting: soundness gate tripped\n");
+    std::abort();
+  }
+  return records;
+}
+
+}  // namespace pilot::check

@@ -1,0 +1,47 @@
+/// \file runner.hpp
+/// Batch experiment runner: (benchmark case × engine configuration) matrix
+/// with per-case wall-clock budgets, optional thread-level parallelism, and
+/// a hard soundness gate (a solved verdict that contradicts the case's
+/// known construction aborts the run).
+///
+/// The bench harness binaries (Table 1/2, Figures 2/3/4) are thin
+/// aggregations over the RunRecord rows this produces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "circuits/suite.hpp"
+
+namespace pilot::check {
+
+struct RunRecord {
+  std::string case_name;
+  std::string family;
+  EngineKind engine = EngineKind::kIc3Ctg;
+  bool expected_safe = false;
+  ic3::Verdict verdict = ic3::Verdict::kUnknown;
+  bool solved = false;
+  double seconds = 0.0;
+  std::size_t frames = 0;
+  ic3::Ic3Stats stats;
+};
+
+struct RunMatrixOptions {
+  std::int64_t budget_ms = 2000;
+  std::uint64_t seed = 0;
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t jobs = 0;
+  bool verify_witness = true;
+  /// Abort on verdict/expectation mismatch (soundness gate).
+  bool strict = true;
+};
+
+/// Runs every (case, engine) pair and returns one record per pair,
+/// in deterministic (case-major) order.
+std::vector<RunRecord> run_matrix(const std::vector<circuits::CircuitCase>& cases,
+                                  const std::vector<EngineKind>& engines,
+                                  const RunMatrixOptions& options);
+
+}  // namespace pilot::check

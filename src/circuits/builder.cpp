@@ -1,0 +1,161 @@
+#include "circuits/builder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pilot::circuits {
+
+Word make_inputs(Aig& aig, std::size_t n, const std::string& prefix) {
+  Word w;
+  w.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.push_back(aig.add_input(prefix.empty()
+                                  ? std::string{}
+                                  : prefix + "[" + std::to_string(i) + "]"));
+  }
+  return w;
+}
+
+Word make_latches(Aig& aig, std::size_t n, std::uint64_t init,
+                  const std::string& prefix) {
+  Word w;
+  w.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool bit = ((init >> i) & 1ULL) != 0;
+    w.push_back(aig.add_latch(bit ? aig::l_True : aig::l_False,
+                              prefix.empty()
+                                  ? std::string{}
+                                  : prefix + "[" + std::to_string(i) + "]"));
+  }
+  return w;
+}
+
+void connect(Aig& aig, const Word& latches, const Word& next) {
+  assert(latches.size() == next.size());
+  for (std::size_t i = 0; i < latches.size(); ++i) {
+    aig.set_next(latches[i], next[i]);
+  }
+}
+
+Word const_word(std::size_t n, std::uint64_t value) {
+  Word w;
+  w.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.push_back(AigLit::constant(((value >> i) & 1ULL) != 0));
+  }
+  return w;
+}
+
+Word ripple_add(Aig& aig, const Word& a, const Word& b, AigLit carry_in) {
+  assert(a.size() == b.size());
+  Word sum;
+  sum.reserve(a.size());
+  AigLit carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const AigLit axb = aig.make_xor(a[i], b[i]);
+    sum.push_back(aig.make_xor(axb, carry));
+    carry = aig.make_or(aig.make_and(a[i], b[i]), aig.make_and(axb, carry));
+  }
+  return sum;
+}
+
+Word increment(Aig& aig, const Word& a) {
+  return ripple_add(aig, a, const_word(a.size(), 0), AigLit::constant(true));
+}
+
+Word subtract(Aig& aig, const Word& a, const Word& b) {
+  Word not_b;
+  not_b.reserve(b.size());
+  for (const AigLit l : b) not_b.push_back(!l);
+  return ripple_add(aig, a, not_b, AigLit::constant(true));
+}
+
+AigLit equals_const(Aig& aig, const Word& a, std::uint64_t value) {
+  std::vector<AigLit> terms;
+  terms.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool bit = ((value >> i) & 1ULL) != 0;
+    terms.push_back(a[i] ^ !bit);
+  }
+  return aig.make_and_n(terms);
+}
+
+AigLit equals(Aig& aig, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  std::vector<AigLit> terms;
+  terms.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    terms.push_back(aig.make_eq(a[i], b[i]));
+  }
+  return aig.make_and_n(terms);
+}
+
+AigLit less_than(Aig& aig, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  // MSB-first chain: lt = (¬a_i ∧ b_i) ∨ (a_i == b_i) ∧ lt_below.
+  AigLit lt = AigLit::constant(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const AigLit ai = a[i];
+    const AigLit bi = b[i];
+    lt = aig.make_or(aig.make_and(!ai, bi),
+                     aig.make_and(aig.make_eq(ai, bi), lt));
+  }
+  return lt;
+}
+
+AigLit less_than_const(Aig& aig, const Word& a, std::uint64_t value) {
+  return less_than(aig, a, const_word(a.size(), value));
+}
+
+Word mux_word(Aig& aig, AigLit sel, const Word& t, const Word& e) {
+  assert(t.size() == e.size());
+  Word w;
+  w.reserve(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    w.push_back(aig.make_mux(sel, t[i], e[i]));
+  }
+  return w;
+}
+
+Word xor_word(Aig& aig, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word w;
+  w.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    w.push_back(aig.make_xor(a[i], b[i]));
+  }
+  return w;
+}
+
+Word shift_right_const(const Word& a, std::size_t amount) {
+  Word w;
+  w.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    w.push_back(i + amount < a.size() ? a[i + amount]
+                                      : AigLit::constant(false));
+  }
+  return w;
+}
+
+AigLit at_least_two(Aig& aig, const Word& bits) {
+  AigLit any = AigLit::constant(false);
+  AigLit two = AigLit::constant(false);
+  for (const AigLit b : bits) {
+    two = aig.make_or(two, aig.make_and(any, b));
+    any = aig.make_or(any, b);
+  }
+  return two;
+}
+
+AigLit exactly_one(Aig& aig, const Word& bits) {
+  AigLit any = aig.make_or_n(bits);
+  return aig.make_and(any, !at_least_two(aig, bits));
+}
+
+AigLit parity(Aig& aig, const Word& bits) {
+  AigLit p = AigLit::constant(false);
+  for (const AigLit b : bits) p = aig.make_xor(p, b);
+  return p;
+}
+
+}  // namespace pilot::circuits

@@ -1,0 +1,77 @@
+/// \file builder.hpp
+/// Word-level construction helpers over the bit-level AIG builder.
+///
+/// The benchmark families are written against these primitives (ripple
+/// adders, comparators, one-hot rotators, ...), mirroring how HWMCC
+/// benchmarks are synthesized from RTL.  Words are little-endian vectors of
+/// AIG literals (bits[0] = LSB).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace pilot::circuits {
+
+using aig::Aig;
+using aig::AigLit;
+using Word = std::vector<AigLit>;
+
+/// Creates `n` fresh primary inputs.
+Word make_inputs(Aig& aig, std::size_t n, const std::string& prefix = {});
+
+/// Creates `n` latches initialized to the bits of `init` (LSB first).
+Word make_latches(Aig& aig, std::size_t n, std::uint64_t init = 0,
+                  const std::string& prefix = {});
+
+/// Wires the next-state functions of latch word `latches` to `next`.
+void connect(Aig& aig, const Word& latches, const Word& next);
+
+/// Constant word of the given width.
+Word const_word(std::size_t n, std::uint64_t value);
+
+// ----- arithmetic ----------------------------------------------------------
+
+/// Ripple-carry sum a+b+carry_in, truncated to |a| bits.
+Word ripple_add(Aig& aig, const Word& a, const Word& b,
+                AigLit carry_in = AigLit::constant(false));
+
+/// a + 1 (width preserved, wraps).
+Word increment(Aig& aig, const Word& a);
+
+/// a - b (two's complement, width preserved).
+Word subtract(Aig& aig, const Word& a, const Word& b);
+
+// ----- comparisons ---------------------------------------------------------
+
+AigLit equals_const(Aig& aig, const Word& a, std::uint64_t value);
+AigLit equals(Aig& aig, const Word& a, const Word& b);
+/// Unsigned a < b.
+AigLit less_than(Aig& aig, const Word& a, const Word& b);
+AigLit less_than_const(Aig& aig, const Word& a, std::uint64_t value);
+
+// ----- steering ------------------------------------------------------------
+
+/// Bitwise select: sel ? t : e.
+Word mux_word(Aig& aig, AigLit sel, const Word& t, const Word& e);
+
+/// Bitwise XOR of equal-width words.
+Word xor_word(Aig& aig, const Word& a, const Word& b);
+
+/// Logical right shift by a constant amount (zero fill).
+Word shift_right_const(const Word& a, std::size_t amount);
+
+// ----- predicates ----------------------------------------------------------
+
+/// True iff at least two of the literals are 1.
+AigLit at_least_two(Aig& aig, const Word& bits);
+
+/// True iff exactly one of the literals is 1.
+AigLit exactly_one(Aig& aig, const Word& bits);
+
+/// XOR-reduction (parity) of a word.
+AigLit parity(Aig& aig, const Word& bits);
+
+}  // namespace pilot::circuits

@@ -1,0 +1,237 @@
+#include "circuits/suite.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace pilot::circuits {
+namespace {
+
+/// Deterministic digit sequence for the combination locks.
+std::vector<std::uint64_t> lock_digits(std::size_t count, std::size_t width,
+                                       std::uint64_t seed) {
+  pilot::Rng rng(seed);
+  std::vector<std::uint64_t> digits;
+  digits.reserve(count);
+  const std::uint64_t mask =
+      width >= 64 ? ~0ULL : ((1ULL << width) - 1ULL);
+  for (std::size_t i = 0; i < count; ++i) {
+    digits.push_back(rng.next_u64() & mask);
+  }
+  return digits;
+}
+
+void add_counter_family(std::vector<CircuitCase>& out, SuiteSize size) {
+  const std::vector<std::size_t> widths =
+      size == SuiteSize::kTiny    ? std::vector<std::size_t>{4, 5}
+      : size == SuiteSize::kQuick ? std::vector<std::size_t>{4, 6, 8}
+                                  : std::vector<std::size_t>{4, 6, 8, 10};
+  for (const std::size_t w : widths) {
+    const std::uint64_t max = 1ULL << w;
+    out.push_back(counter_unsafe(w, max / 2 + 1));
+    out.push_back(counter_unsafe(w, max - 1));
+    out.push_back(counter_wrap_safe(w, max / 2, max / 2 + 1));
+    out.push_back(counter_wrap_safe(w, max / 4 + 1, max - 1));
+    out.push_back(counter_enable_unsafe(w, max / 2 + 1));
+  }
+  // Deep-diameter instances: IC3's frame count tracks the wrap limit, so
+  // these sit near (or beyond) the per-case budget — the differentiating
+  // tail of the suite, like the unsolved half of HWMCC.
+  if (size == SuiteSize::kQuick) {
+    out.push_back(counter_wrap_safe(9, 150, 400));
+    out.push_back(counter_wrap_safe(10, 320, 900));
+    out.push_back(counter_wrap_safe(11, 700, 2000));
+    out.push_back(counter_unsafe(10, 520));
+    out.push_back(counter_unsafe(11, 1200));
+  } else if (size == SuiteSize::kFull) {
+    out.push_back(counter_wrap_safe(9, 150, 400));
+    out.push_back(counter_wrap_safe(10, 320, 900));
+    out.push_back(counter_wrap_safe(11, 700, 2000));
+    out.push_back(counter_wrap_safe(12, 1500, 4000));
+    out.push_back(counter_unsafe(10, 520));
+    out.push_back(counter_unsafe(11, 1200));
+    out.push_back(counter_unsafe(12, 3000));
+  }
+}
+
+void add_lock_family(std::vector<CircuitCase>& out, SuiteSize size) {
+  struct P {
+    std::size_t width, stages;
+  };
+  const std::vector<P> params =
+      size == SuiteSize::kTiny    ? std::vector<P>{{2, 3}, {3, 4}}
+      : size == SuiteSize::kQuick ? std::vector<P>{{2, 4}, {3, 6}, {4, 8}}
+                                  : std::vector<P>{{2, 4},  {3, 6},  {4, 8},
+                                                   {4, 12}, {5, 10}, {6, 8}};
+  std::uint64_t seed = 11;
+  for (const auto& [w, s] : params) {
+    const auto digits = lock_digits(s, w, seed++);
+    out.push_back(combination_lock_unsafe(w, digits));
+    out.push_back(combination_lock_safe(w, digits, s / 2));
+  }
+}
+
+void add_shiftreg_family(std::vector<CircuitCase>& out, SuiteSize size) {
+  const std::vector<std::size_t> widths =
+      size == SuiteSize::kTiny    ? std::vector<std::size_t>{4, 8}
+      : size == SuiteSize::kQuick ? std::vector<std::size_t>{8, 16, 32}
+                                  : std::vector<std::size_t>{8, 16, 32, 64,
+                                                             96};
+  for (const std::size_t w : widths) {
+    out.push_back(shift_register(w, /*constrain_input_zero=*/false));
+    out.push_back(shift_register(w, /*constrain_input_zero=*/true));
+  }
+}
+
+void add_ring_family(std::vector<CircuitCase>& out, SuiteSize size) {
+  const std::vector<std::size_t> sizes =
+      size == SuiteSize::kTiny    ? std::vector<std::size_t>{3, 5}
+      : size == SuiteSize::kQuick ? std::vector<std::size_t>{4, 8, 12}
+                                  : std::vector<std::size_t>{4, 8, 12, 16,
+                                                             24};
+  for (const std::size_t n : sizes) {
+    out.push_back(token_ring_safe(n));
+    out.push_back(token_ring_unsafe(n));
+    out.push_back(arbiter_safe(n));
+    out.push_back(arbiter_unsafe(n));
+  }
+}
+
+void add_gray_family(std::vector<CircuitCase>& out, SuiteSize size) {
+  const std::vector<std::size_t> widths =
+      size == SuiteSize::kTiny    ? std::vector<std::size_t>{3, 4}
+      : size == SuiteSize::kQuick ? std::vector<std::size_t>{4, 5, 6, 7, 8}
+                                  : std::vector<std::size_t>{4, 5, 6, 7, 8,
+                                                             9, 10};
+  for (const std::size_t w : widths) {
+    out.push_back(gray_counter_safe(w));
+    out.push_back(gray_counter_unsafe(w));
+  }
+}
+
+void add_lfsr_family(std::vector<CircuitCase>& out, SuiteSize size) {
+  struct P {
+    std::size_t width;
+    std::uint64_t taps;
+    int steps;
+  };
+  const std::vector<P> params =
+      size == SuiteSize::kTiny
+          ? std::vector<P>{{4, 0b1001, 5}, {5, 0b10010, 8}}
+      : size == SuiteSize::kQuick
+          ? std::vector<P>{{4, 0b1001, 6},
+                           {6, 0b100001, 12},
+                           {8, 0b10001110, 20},
+                           {10, 0b1000000100, 40},
+                           {12, 0b100000101001, 60}}
+          : std::vector<P>{{4, 0b1001, 6},
+                           {6, 0b100001, 12},
+                           {8, 0b10001110, 20},
+                           {10, 0b1000000100, 40},
+                           {12, 0b100000101001, 60},
+                           {12, 0b100000101001, 120},
+                           {14, 0b10000000101011, 200}};
+  // Several step-depths may share one (width, taps) pair; the safe variant
+  // is independent of the depth, so emit it only once per pair.
+  std::vector<std::pair<std::size_t, std::uint64_t>> safe_emitted;
+  for (const auto& [w, taps, steps] : params) {
+    const std::pair<std::size_t, std::uint64_t> key{w, taps};
+    if (std::find(safe_emitted.begin(), safe_emitted.end(), key) ==
+        safe_emitted.end()) {
+      safe_emitted.push_back(key);
+      out.push_back(lfsr_safe(w, taps));
+    }
+    out.push_back(lfsr_unsafe(w, taps, steps));
+  }
+}
+
+void add_parity_family(std::vector<CircuitCase>& out, SuiteSize size) {
+  const std::vector<std::size_t> widths =
+      size == SuiteSize::kTiny    ? std::vector<std::size_t>{4}
+      : size == SuiteSize::kQuick ? std::vector<std::size_t>{6, 8}
+                                  : std::vector<std::size_t>{6, 8, 10, 12};
+  for (const std::size_t w : widths) out.push_back(ring_parity_safe(w));
+}
+
+void add_fifo_family(std::vector<CircuitCase>& out, SuiteSize size) {
+  struct P {
+    std::size_t width;
+    std::uint64_t cap;
+  };
+  const std::vector<P> params =
+      size == SuiteSize::kTiny    ? std::vector<P>{{3, 5}, {4, 9}}
+      : size == SuiteSize::kQuick ? std::vector<P>{{4, 11}, {5, 21}, {6, 45}}
+                                  : std::vector<P>{{4, 11},
+                                                   {5, 21},
+                                                   {6, 45},
+                                                   {7, 99},
+                                                   {8, 200}};
+  for (const auto& [w, cap] : params) {
+    out.push_back(fifo_safe(w, cap));
+    out.push_back(fifo_unsafe(w, cap));
+  }
+}
+
+void add_saturate_family(std::vector<CircuitCase>& out, SuiteSize size) {
+  struct P {
+    std::size_t width;
+    std::uint64_t cap;
+  };
+  const std::vector<P> params =
+      size == SuiteSize::kTiny    ? std::vector<P>{{4, 11}}
+      : size == SuiteSize::kQuick ? std::vector<P>{{4, 11}, {6, 50}}
+                                  : std::vector<P>{{4, 11},
+                                                   {6, 50},
+                                                   {8, 200},
+                                                   {10, 900}};
+  for (const auto& [w, cap] : params) {
+    out.push_back(saturating_accumulator_safe(w, cap));
+    out.push_back(saturating_accumulator_unsafe(w, cap));
+  }
+}
+
+void add_twin_family(std::vector<CircuitCase>& out, SuiteSize size) {
+  const std::vector<std::size_t> widths =
+      size == SuiteSize::kTiny    ? std::vector<std::size_t>{4, 6}
+      : size == SuiteSize::kQuick ? std::vector<std::size_t>{6, 14, 24}
+                                  : std::vector<std::size_t>{6, 10, 14, 20,
+                                                             28, 40, 56};
+  for (const std::size_t w : widths) {
+    out.push_back(twin_counters_safe(w));
+    out.push_back(twin_counters_unsafe(w));
+  }
+}
+
+void add_mutex_family(std::vector<CircuitCase>& out, SuiteSize) {
+  out.push_back(mutex_safe());
+  out.push_back(mutex_unsafe());
+}
+
+}  // namespace
+
+std::vector<CircuitCase> make_suite(SuiteSize size) {
+  std::vector<CircuitCase> out;
+  add_counter_family(out, size);
+  add_lock_family(out, size);
+  add_shiftreg_family(out, size);
+  add_ring_family(out, size);
+  add_gray_family(out, size);
+  add_lfsr_family(out, size);
+  add_parity_family(out, size);
+  add_fifo_family(out, size);
+  add_saturate_family(out, size);
+  add_twin_family(out, size);
+  add_mutex_family(out, size);
+  return out;
+}
+
+SuiteSize suite_size_from_string(const std::string& text) {
+  if (text == "tiny") return SuiteSize::kTiny;
+  if (text == "quick") return SuiteSize::kQuick;
+  if (text == "full") return SuiteSize::kFull;
+  throw std::invalid_argument("unknown suite size '" + text + "'");
+}
+
+}  // namespace pilot::circuits

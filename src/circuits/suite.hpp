@@ -1,0 +1,24 @@
+/// \file suite.hpp
+/// The named benchmark suite: a deterministic set of CircuitCase instances
+/// spanning all families, safe and unsafe, shallow and deep.
+///
+/// Three sizes share the same families and only differ in parameter ranges:
+///   kTiny  — seconds-long CI runs (unit/integration tests)
+///   kQuick — the default for the bench harness (default budgets)
+///   kFull  — closest analogue of the paper's 730-case HWMCC evaluation
+#pragma once
+
+#include <vector>
+
+#include "circuits/families.hpp"
+
+namespace pilot::circuits {
+
+enum class SuiteSize { kTiny, kQuick, kFull };
+
+std::vector<CircuitCase> make_suite(SuiteSize size);
+
+/// Convenience: parse "tiny"/"quick"/"full".
+SuiteSize suite_size_from_string(const std::string& text);
+
+}  // namespace pilot::circuits

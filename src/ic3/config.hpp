@@ -1,0 +1,92 @@
+/// \file config.hpp
+/// IC3 engine configuration.
+///
+/// The six experiment configurations of the paper map onto these knobs
+/// (see DESIGN.md §2): the `-pl` variants set `predict_lemmas = true`, the
+/// IC3ref/RIC3 baselines differ in `gen_mode`, and ABC-PDR is approximated
+/// by the kPdr profile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pilot::ic3 {
+
+/// Inductive generalization strategy.
+enum class GenMode {
+  kDown,   // plain literal dropping (paper Algorithm 1) — "RIC3" baseline
+  kCtg,    // ctgDown [Hassan et al., FMCAD'13] — "IC3ref" baseline
+  kCav23,  // kDown with parent-lemma literal ordering [Xia et al., CAV'23]
+};
+
+/// Named engine profiles.
+enum class Profile {
+  kIc3,  // defaults below
+  kPdr,  // Een–Mishchenko-style: no CTGs, aggressive propagation
+};
+
+struct Config {
+  GenMode gen_mode = GenMode::kCtg;
+
+  /// The paper's contribution: predict lemmas from counterexamples to
+  /// propagation before dropping variables (Algorithm 2).
+  bool predict_lemmas = false;
+
+  /// When a predicted candidate is proven, additionally shrink it with the
+  /// returned unsat core (sound strengthening the paper does not do;
+  /// off by default for faithfulness — ablation knob).
+  bool predict_core_shrink = false;
+
+  /// Extension ablation: allow predicted candidates with up to this many
+  /// literals added to the parent lemma (the paper uses exactly 1; Eq. 6).
+  int predict_max_extra_lits = 1;
+
+  /// Clear the failure_push table at each propagation (paper line 44).
+  /// Ablation: keeping stale entries trades accuracy for hit rate.
+  bool clear_failure_push_on_propagate = true;
+
+  /// On failed prediction queries, refine the diff set with the new
+  /// counterexample (paper line 27).  Ablation knob.
+  bool predict_refine_diff = true;
+
+  // --- generalization tuning ---
+  int ctg_max_depth = 1;  // recursion depth of ctgDown
+  int ctg_max_ctgs = 3;   // CTGs blocked per down() before joining
+
+  // --- engine behaviour ---
+  /// Predecessor lifting strategy: SAT final-conflict cores (default, as in
+  /// modern IC3 implementations), ternary simulation (the original PDR
+  /// approach of Een–Mishchenko), or none (full model cubes).
+  enum class LiftMode { kSat, kTernary, kNone };
+  LiftMode lift_mode = LiftMode::kSat;
+  bool reenqueue_obligations = true;
+  /// Rebuild the main solver after this many retired temporary activation
+  /// literals (controls junk accumulation).
+  std::size_t rebuild_tmp_threshold = 3000;
+
+  std::uint64_t seed = 0;
+
+  /// Applies a named profile on top of the defaults.
+  void apply_profile(Profile p) {
+    if (p == Profile::kPdr) {
+      gen_mode = GenMode::kDown;
+      ctg_max_depth = 0;
+      ctg_max_ctgs = 0;
+      reenqueue_obligations = true;
+      lift_mode = LiftMode::kTernary;  // PDR'11 used ternary simulation
+    }
+  }
+
+  [[nodiscard]] std::string describe() const {
+    std::string s;
+    switch (gen_mode) {
+      case GenMode::kDown: s = "gen=down"; break;
+      case GenMode::kCtg: s = "gen=ctg"; break;
+      case GenMode::kCav23: s = "gen=cav23"; break;
+    }
+    if (predict_lemmas) s += "+pl";
+    return s;
+  }
+};
+
+}  // namespace pilot::ic3

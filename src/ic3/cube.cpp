@@ -1,0 +1,105 @@
+#include "ic3/cube.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace pilot::ic3 {
+
+Cube Cube::from_lits(std::vector<Lit> lits) {
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  Cube c;
+  c.lits_ = std::move(lits);
+  return c;
+}
+
+Cube Cube::from_sorted(std::vector<Lit> lits) {
+  assert(std::is_sorted(lits.begin(), lits.end()));
+  Cube c;
+  c.lits_ = std::move(lits);
+  return c;
+}
+
+bool Cube::contains(Lit l) const {
+  return std::binary_search(lits_.begin(), lits_.end(), l);
+}
+
+bool Cube::subset_of(const Cube& other) const {
+  if (size() > other.size()) return false;
+  return std::includes(other.lits_.begin(), other.lits_.end(),
+                       lits_.begin(), lits_.end());
+}
+
+Cube Cube::diff(const Cube& b) const {
+  // diff(a, b) = { l ∈ a | ¬l ∈ b }.  Both sides sorted; ¬l of a sorted
+  // sequence is not sorted by code (sign bit flips), so use membership
+  // tests on b, which keeps this O(|a| log |b|).
+  std::vector<Lit> out;
+  for (const Lit l : lits_) {
+    if (b.contains(~l)) out.push_back(l);
+  }
+  return from_sorted(std::move(out));
+}
+
+Cube Cube::intersect(const Cube& other) const {
+  std::vector<Lit> out;
+  std::set_intersection(lits_.begin(), lits_.end(), other.lits_.begin(),
+                        other.lits_.end(), std::back_inserter(out));
+  return from_sorted(std::move(out));
+}
+
+Cube Cube::without(Lit l) const {
+  std::vector<Lit> out;
+  out.reserve(lits_.size());
+  for (const Lit x : lits_) {
+    if (x != l) out.push_back(x);
+  }
+  return from_sorted(std::move(out));
+}
+
+Cube Cube::with_lit(Lit l) const {
+  assert(!contains(~l) && "cube would become inconsistent");
+  std::vector<Lit> out;
+  out.reserve(lits_.size() + 1);
+  bool inserted = false;
+  for (const Lit x : lits_) {
+    if (!inserted && l < x) {
+      out.push_back(l);
+      inserted = true;
+    }
+    if (x == l) inserted = true;  // already present
+    out.push_back(x);
+  }
+  if (!inserted) out.push_back(l);
+  return from_sorted(std::move(out));
+}
+
+std::vector<Lit> Cube::negated_lits() const {
+  std::vector<Lit> out;
+  out.reserve(lits_.size());
+  for (const Lit l : lits_) out.push_back(~l);
+  return out;
+}
+
+std::size_t Cube::hash() const {
+  std::size_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const Lit l : lits_) {
+    h ^= static_cast<std::size_t>(l.index());
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::string Cube::to_string() const {
+  std::ostringstream oss;
+  oss << "{";
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    if (i > 0) oss << " ";
+    oss << lits_[i].to_string();
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace pilot::ic3

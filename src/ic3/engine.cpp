@@ -1,0 +1,241 @@
+#include "ic3/engine.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace pilot::ic3 {
+
+Engine::Engine(const ts::TransitionSystem& ts, Config cfg)
+    : ts_(ts),
+      cfg_(cfg),
+      solvers_(ts_, cfg_, stats_),
+      lifter_(ts_, cfg_, stats_),
+      generalizer_(ts_, solvers_, frames_, cfg_, stats_),
+      predictor_(solvers_, frames_, cfg_, stats_) {}
+
+void Engine::add_lemma(const Cube& cube, std::size_t level) {
+  std::size_t removed = 0;
+  if (frames_.add_lemma(cube, level, &removed)) {
+    solvers_.add_lemma_clause(cube, level);
+    ++stats_.num_lemmas;
+    stats_.num_subsumed_lemmas += removed;
+  }
+}
+
+Result Engine::check(Deadline deadline) {
+  Timer total;
+  Result result;
+  try {
+    frames_.ensure_level(0);
+    solvers_.ensure_level(0);
+
+    // Step-0 counterexample: a state in I that can raise bad.
+    if (solvers_.solve_bad(0, deadline)) {
+      const Cube state_full = solvers_.model_state(/*primed=*/false);
+      const std::vector<Lit> inputs = solvers_.model_inputs();
+      const Cube state = lifter_.lift_bad(state_full, inputs, deadline);
+      result.verdict = Verdict::kUnsafe;
+      result.trace = Trace{{state}, {inputs}};
+    } else if (ts_.num_latches() == 0) {
+      // Purely combinational problem: the step-0 query decides it.
+      result.verdict = Verdict::kSafe;
+      result.invariant = InductiveInvariant{};
+    } else {
+      std::size_t k = 1;
+      frames_.ensure_level(1);
+      solvers_.ensure_level(1);
+      for (;;) {
+        // ---- blocking phase: make R_k exclude the bad cone ----
+        bool unsafe = false;
+        while (solvers_.solve_bad(k, deadline)) {
+          const Cube state_full = solvers_.model_state(/*primed=*/false);
+          const std::vector<Lit> inputs = solvers_.model_inputs();
+          const Cube state = lifter_.lift_bad(state_full, inputs, deadline);
+          pool_.clear();
+          queue_.clear();
+          cex_leaf_ = -1;
+          pool_.push_back(Obligation{state, k, 0, -1, inputs});
+          ++stats_.num_obligations;
+          if (!block(0, deadline)) {
+            result.verdict = Verdict::kUnsafe;
+            result.trace = build_trace(cex_leaf_);
+            unsafe = true;
+            break;
+          }
+        }
+        if (unsafe) break;
+
+        // ---- propagation phase ----
+        ++k;
+        frames_.ensure_level(k);
+        solvers_.ensure_level(k);
+        stats_.max_frame = std::max(stats_.max_frame, k);
+        solvers_.maybe_rebuild(frames_);
+        if (propagate(deadline)) {
+          result.verdict = Verdict::kSafe;
+          // Fixpoint level: first i with empty delta (propagate found it).
+          for (std::size_t i = 1; i < frames_.top_level(); ++i) {
+            if (frames_.delta(i).empty()) {
+              result.invariant = collect_invariant(i);
+              break;
+            }
+          }
+          break;
+        }
+        PILOT_INFO("frame " << k << ": lemmas=" << frames_.total_lemmas()
+                            << " " << stats_.summary());
+      }
+    }
+  } catch (const TimeoutError&) {
+    result.verdict = Verdict::kUnknown;
+  }
+  result.frames = stats_.max_frame;
+  result.seconds = total.seconds();
+  stats_.time_total = result.seconds;
+  result.stats = stats_;
+  return result;
+}
+
+bool Engine::block(int root_index, const Deadline& deadline) {
+  queue_.insert(QueueKey{pool_[root_index].level, pool_[root_index].depth,
+                         root_index});
+  while (!queue_.empty()) {
+    const auto it = queue_.begin();
+    const int idx = std::get<2>(*it);
+    queue_.erase(it);
+    Obligation& ob = pool_[idx];
+
+    // Already blocked by an existing lemma?
+    if (frames_.subsumed_at(ob.cube, ob.level)) {
+      if (cfg_.reenqueue_obligations && ob.level < frames_.top_level()) {
+        ++ob.level;
+        queue_.insert(QueueKey{ob.level, ob.depth, idx});
+      }
+      continue;
+    }
+
+    Cube core;
+    if (solvers_.relative_inductive(ob.cube, ob.level - 1,
+                                    /*cube_clause_in_frame=*/false, &core,
+                                    deadline)) {
+      // The cube is blocked; generalize (predicting first when enabled).
+      ++stats_.num_generalizations;  // N_g
+      Cube lemma;
+      bool predicted = false;
+      if (cfg_.predict_lemmas) {
+        Timer t;
+        const std::optional<Cube> p =
+            predictor_.predict(ob.cube, ob.level, deadline);
+        stats_.time_predict += t.seconds();
+        if (p.has_value()) {
+          lemma = *p;
+          predicted = true;
+        }
+      }
+      if (!predicted) {
+        Timer t;
+        lemma = generalizer_.generalize(
+            core, ob.level, deadline,
+            [this](const Cube& c, std::size_t lv) { add_lemma(c, lv); });
+        stats_.time_generalize += t.seconds();
+      }
+
+      // Push the lemma as high as it proves inductive (paper lines 36-38);
+      // on failure record the CTP successor for future predictions.
+      std::size_t j = ob.level;
+      while (j < frames_.top_level()) {
+        if (!solvers_.relative_inductive(lemma, j,
+                                         /*cube_clause_in_frame=*/false,
+                                         nullptr, deadline)) {
+          if (cfg_.predict_lemmas) {
+            predictor_.record_push_failure(
+                lemma, j, solvers_.model_state(/*primed=*/true));
+          }
+          break;
+        }
+        ++j;
+      }
+      add_lemma(lemma, j);
+      ++stats_.num_blocked_cubes;
+      if (cfg_.reenqueue_obligations && j < frames_.top_level()) {
+        ob.level = j + 1;
+        queue_.insert(QueueKey{ob.level, ob.depth, idx});
+      }
+    } else {
+      // Counterexample to induction: chase the predecessor.
+      ++stats_.num_ctis;
+      const Cube pred_full = solvers_.model_state(/*primed=*/false);
+      const std::vector<Lit> inputs = solvers_.model_inputs();
+      const Cube pred =
+          lifter_.lift_predecessor(pred_full, inputs, ob.cube, deadline);
+      pool_.push_back(
+          Obligation{pred, ob.level - 1, ob.depth + 1, idx, inputs});
+      const int pidx = static_cast<int>(pool_.size()) - 1;
+      ++stats_.num_obligations;
+      if (ts_.cube_intersects_init(pred.lits())) {
+        cex_leaf_ = pidx;
+        return false;
+      }
+      queue_.insert(QueueKey{pool_[pidx].level, pool_[pidx].depth, pidx});
+      queue_.insert(QueueKey{ob.level, ob.depth, idx});
+    }
+  }
+  return true;
+}
+
+bool Engine::propagate(const Deadline& deadline) {
+  Timer t;
+  if (cfg_.predict_lemmas && cfg_.clear_failure_push_on_propagate) {
+    predictor_.clear();  // paper line 44: reconstruct the hash table
+  }
+  bool fixpoint = false;
+  for (std::size_t i = 1; i < frames_.top_level() && !fixpoint; ++i) {
+    const std::vector<Cube> snapshot = frames_.delta(i);
+    for (const Cube& c : snapshot) {
+      // The lemma may have been subsumed by a previous push in this pass.
+      const auto& bucket = frames_.delta(i);
+      if (std::find(bucket.begin(), bucket.end(), c) == bucket.end()) {
+        continue;
+      }
+      ++stats_.num_push_queries;
+      if (solvers_.relative_inductive(c, i, /*cube_clause_in_frame=*/true,
+                                      nullptr, deadline)) {
+        frames_.remove_lemma(c, i);
+        if (frames_.add_lemma(c, i + 1)) {
+          solvers_.add_lemma_clause(c, i + 1);
+        }
+        ++stats_.num_push_successes;
+      } else if (cfg_.predict_lemmas) {
+        // Record the counterexample to propagation (paper lines 49-50).
+        predictor_.record_push_failure(c, i,
+                                       solvers_.model_state(/*primed=*/true));
+      }
+    }
+    if (frames_.delta(i).empty()) fixpoint = true;
+  }
+  stats_.time_propagate += t.seconds();
+  return fixpoint;
+}
+
+Trace Engine::build_trace(int leaf_index) const {
+  Trace trace;
+  for (int idx = leaf_index; idx >= 0; idx = pool_[idx].successor) {
+    trace.states.push_back(pool_[idx].cube);
+    trace.inputs.push_back(pool_[idx].inputs);
+  }
+  return trace;
+}
+
+InductiveInvariant Engine::collect_invariant(
+    std::size_t fixpoint_level) const {
+  InductiveInvariant inv;
+  for (std::size_t j = fixpoint_level; j <= frames_.top_level(); ++j) {
+    for (const Cube& c : frames_.delta(j)) {
+      inv.lemma_cubes.push_back(c);
+    }
+  }
+  return inv;
+}
+
+}  // namespace pilot::ic3

@@ -1,0 +1,60 @@
+/// \file generalizer.hpp
+/// Inductive generalization (MIC): expanding a blocked cube by dropping
+/// literals while preserving relative inductiveness.
+///
+/// Three strategies (Config::gen_mode):
+///  * kDown  — the paper's Algorithm 1: drop a literal, one SAT query, keep
+///             the (core-shrunk) candidate on success.
+///  * kCtg   — ctgDown [Hassan, Bradley, Somenzi — FMCAD'13]: on failure,
+///             try to block the counterexample-to-generalization at a high
+///             frame, and otherwise join the candidate with it.
+///  * kCav23 — kDown with the literal ordering of [Xia et al., CAV'23]:
+///             literals absent from all parent lemmas are dropped first.
+///
+/// This is exactly the component whose cost the paper's prediction
+/// mechanism avoids: each literal dropped costs one relative-induction SAT
+/// query, so |cube| queries per generalization in the worst case.
+#pragma once
+
+#include <functional>
+
+#include "ic3/config.hpp"
+#include "ic3/cube.hpp"
+#include "ic3/frames.hpp"
+#include "ic3/solver_manager.hpp"
+#include "ic3/stats.hpp"
+#include "ts/transition_system.hpp"
+#include "util/timer.hpp"
+
+namespace pilot::ic3 {
+
+class Generalizer {
+ public:
+  /// Callback installing a lemma into frames AND solver (owned by the
+  /// engine; ctgDown uses it to block CTGs).
+  using AddLemmaFn = std::function<void(const Cube&, std::size_t)>;
+
+  Generalizer(const ts::TransitionSystem& ts, SolverManager& solvers,
+              Frames& frames, const Config& cfg, Ic3Stats& stats);
+
+  /// Generalizes `cube` (already relative-inductive at `level`-1 and
+  /// disjoint from I) into a smaller cube still blocked at `level`.
+  Cube generalize(const Cube& cube, std::size_t level,
+                  const Deadline& deadline, const AddLemmaFn& add_lemma);
+
+ private:
+  Cube mic(Cube cube, std::size_t level, int depth, const Deadline& deadline,
+           const AddLemmaFn& add_lemma);
+  bool ctg_down(Cube& cand, std::size_t level, int depth,
+                const Deadline& deadline, const AddLemmaFn& add_lemma);
+  [[nodiscard]] std::vector<Lit> order_literals(const Cube& cube,
+                                                std::size_t level) const;
+
+  const ts::TransitionSystem& ts_;
+  SolverManager& solvers_;
+  Frames& frames_;
+  const Config& cfg_;
+  Ic3Stats& stats_;
+};
+
+}  // namespace pilot::ic3

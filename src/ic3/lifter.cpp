@@ -1,0 +1,180 @@
+#include "ic3/lifter.hpp"
+
+#include <algorithm>
+
+#include "ic3/solver_manager.hpp"  // TimeoutError
+
+namespace pilot::ic3 {
+
+Lifter::Lifter(const ts::TransitionSystem& ts, const Config& cfg,
+               Ic3Stats& stats)
+    : ts_(ts), cfg_(cfg), stats_(stats) {
+  if (cfg_.lift_mode == Config::LiftMode::kSat) {
+    solver_ = std::make_unique<sat::Solver>();
+    solver_->set_seed(cfg.seed);
+    ts_.install(*solver_);
+  } else if (cfg_.lift_mode == Config::LiftMode::kTernary) {
+    ternary_ = std::make_unique<aig::TernarySimulator>(ts_.aig());
+    latch_values_.resize(ts_.num_latches());
+    input_values_.resize(ts_.num_inputs());
+  }
+}
+
+void Lifter::maybe_rebuild() {
+  if (retired_tmp_ < cfg_.rebuild_tmp_threshold) return;
+  solver_ = std::make_unique<sat::Solver>();
+  solver_->set_seed(cfg_.seed);
+  ts_.install(*solver_);
+  retired_tmp_ = 0;
+}
+
+Cube Lifter::core_projection(const Cube& full) const {
+  const std::vector<Lit>& core = solver_->core();
+  std::vector<Lit> kept;
+  for (const Lit l : full) {
+    if (std::find(core.begin(), core.end(), l) != core.end()) {
+      kept.push_back(l);
+    }
+  }
+  if (kept.empty()) return full;  // defensive: keep something
+  return Cube::from_sorted(std::move(kept));
+}
+
+// ----- ternary lifting -------------------------------------------------------
+
+Cube Lifter::ternary_lift(const Cube& full, const std::vector<Lit>& inputs,
+                          const std::function<bool()>& target_definite) {
+  // Seed the simulator frame: latches from `full`, inputs from `inputs`,
+  // everything else X.
+  std::fill(latch_values_.begin(), latch_values_.end(), aig::TV::kX);
+  std::fill(input_values_.begin(), input_values_.end(), aig::TV::kX);
+  for (const Lit l : full) {
+    const int idx = ts_.latch_index_of(l.var());
+    if (idx >= 0) {
+      latch_values_[static_cast<std::size_t>(idx)] =
+          l.sign() ? aig::TV::kZero : aig::TV::kOne;
+    }
+  }
+  for (const Lit l : inputs) {
+    for (std::size_t i = 0; i < ts_.num_inputs(); ++i) {
+      if (ts_.input_var(i) == l.var()) {
+        input_values_[i] = l.sign() ? aig::TV::kZero : aig::TV::kOne;
+        break;
+      }
+    }
+  }
+  ternary_->compute(latch_values_, input_values_);
+  if (!target_definite()) return full;  // partial model: nothing provable
+
+  // Drop latches one at a time, keeping the X when the target stays
+  // definite.  (Production PDR uses event-driven re-evaluation; a full
+  // sweep per latch is fine at this repository's circuit sizes.)
+  std::vector<Lit> kept;
+  std::vector<Lit> order(full.begin(), full.end());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Lit l = order[i];
+    const int idx = ts_.latch_index_of(l.var());
+    if (idx < 0) continue;
+    const aig::TV saved = latch_values_[static_cast<std::size_t>(idx)];
+    latch_values_[static_cast<std::size_t>(idx)] = aig::TV::kX;
+    ternary_->compute(latch_values_, input_values_);
+    if (!target_definite()) {
+      latch_values_[static_cast<std::size_t>(idx)] = saved;  // must keep
+      kept.push_back(l);
+    }
+  }
+  if (kept.empty()) return full;  // defensive
+  return Cube::from_sorted(std::move(kept));
+}
+
+Cube Lifter::ternary_lift_predecessor(const Cube& pred_full,
+                                      const std::vector<Lit>& inputs,
+                                      const Cube& successor) {
+  auto target_definite = [&]() {
+    for (const aig::AigLit c : ts_.aig().constraints()) {
+      if (ternary_->value(c) != aig::TV::kOne) return false;
+    }
+    for (const Lit l : successor) {
+      const int idx = ts_.latch_index_of(l.var());
+      const std::uint32_t latch_node =
+          ts_.aig().latches()[static_cast<std::size_t>(idx)];
+      const aig::TV v = ternary_->value(ts_.aig().next(latch_node));
+      const aig::TV want = l.sign() ? aig::TV::kZero : aig::TV::kOne;
+      if (v != want) return false;
+    }
+    return true;
+  };
+  return ternary_lift(pred_full, inputs, target_definite);
+}
+
+Cube Lifter::ternary_lift_bad(const Cube& state_full,
+                              const std::vector<Lit>& inputs) {
+  auto target_definite = [&]() {
+    const Lit bad = ts_.bad();
+    const aig::TV v = ternary_->value(aig::AigLit::make(
+        static_cast<std::uint32_t>(bad.var()), bad.sign()));
+    return v == aig::TV::kOne;
+  };
+  return ternary_lift(state_full, inputs, target_definite);
+}
+
+// ----- public entry points ----------------------------------------------------
+
+Cube Lifter::lift_predecessor(const Cube& pred_full,
+                              const std::vector<Lit>& inputs,
+                              const Cube& successor,
+                              const Deadline& deadline) {
+  switch (cfg_.lift_mode) {
+    case Config::LiftMode::kNone:
+      return pred_full;
+    case Config::LiftMode::kTernary:
+      return ternary_lift_predecessor(pred_full, inputs, successor);
+    case Config::LiftMode::kSat:
+      break;
+  }
+  maybe_rebuild();
+  const Lit tmp = Lit::make(solver_->new_var());
+  std::vector<Lit> clause{~tmp};
+  for (const Lit l : successor) clause.push_back(~ts_.prime(l));
+  solver_->add_clause(clause);
+
+  std::vector<Lit> assumptions;
+  assumptions.reserve(pred_full.size() + inputs.size() + 1);
+  // Assumption order matters for core quality: inputs and the activation
+  // first so state literals land late in the final conflict analysis.
+  assumptions.push_back(tmp);
+  assumptions.insert(assumptions.end(), inputs.begin(), inputs.end());
+  for (const Lit l : pred_full) assumptions.push_back(l);
+
+  const sat::SolveResult res = solver_->solve(assumptions, deadline);
+  solver_->add_unit(~tmp);
+  ++retired_tmp_;
+  if (res == sat::SolveResult::kUnknown) throw TimeoutError{};
+  if (res == sat::SolveResult::kSat) return pred_full;  // defensive
+  return core_projection(pred_full);
+}
+
+Cube Lifter::lift_bad(const Cube& state_full, const std::vector<Lit>& inputs,
+                      const Deadline& deadline) {
+  switch (cfg_.lift_mode) {
+    case Config::LiftMode::kNone:
+      return state_full;
+    case Config::LiftMode::kTernary:
+      return ternary_lift_bad(state_full, inputs);
+    case Config::LiftMode::kSat:
+      break;
+  }
+  maybe_rebuild();
+  std::vector<Lit> assumptions;
+  assumptions.reserve(state_full.size() + inputs.size() + 1);
+  assumptions.push_back(~ts_.bad());
+  assumptions.insert(assumptions.end(), inputs.begin(), inputs.end());
+  for (const Lit l : state_full) assumptions.push_back(l);
+
+  const sat::SolveResult res = solver_->solve(assumptions, deadline);
+  if (res == sat::SolveResult::kUnknown) throw TimeoutError{};
+  if (res == sat::SolveResult::kSat) return state_full;  // defensive
+  return core_projection(state_full);
+}
+
+}  // namespace pilot::ic3

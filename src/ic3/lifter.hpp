@@ -1,0 +1,66 @@
+/// \file lifter.hpp
+/// Lifting of concrete states to cubes, by SAT cores or ternary simulation.
+///
+/// SAT mode: given a full predecessor assignment (s, y) whose unique
+/// successor lies in cube t, the query  s ∧ y ∧ T ∧ ¬t'  is unsatisfiable;
+/// the final-conflict core over the s-literals is a partial cube every one
+/// of whose states still transitions into t under input y.
+///
+/// Ternary mode (the original PDR approach): X-out one latch of s at a
+/// time and keep the X if three-valued simulation still produces definite,
+/// matching values on the successor cube (and keeps the constraints and —
+/// for bad lifting — the bad signal definite).  No solver involved; cost is
+/// one circuit sweep per latch.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "aig/simulation.hpp"
+#include "ic3/config.hpp"
+#include "ic3/cube.hpp"
+#include "ic3/stats.hpp"
+#include "sat/solver.hpp"
+#include "ts/transition_system.hpp"
+#include "util/timer.hpp"
+
+namespace pilot::ic3 {
+
+class Lifter {
+ public:
+  Lifter(const ts::TransitionSystem& ts, const Config& cfg, Ic3Stats& stats);
+
+  /// Shrinks a full predecessor cube: every state of the result reaches a
+  /// state in `successor` in one step under `inputs`.
+  Cube lift_predecessor(const Cube& pred_full, const std::vector<Lit>& inputs,
+                        const Cube& successor, const Deadline& deadline);
+
+  /// Shrinks a full state in the bad cone: every state of the result can
+  /// produce bad with `inputs`.
+  Cube lift_bad(const Cube& state_full, const std::vector<Lit>& inputs,
+                const Deadline& deadline);
+
+ private:
+  void maybe_rebuild();
+  Cube core_projection(const Cube& full) const;
+  /// Shared ternary-lifting loop; `keeps_target` judges one simulation.
+  Cube ternary_lift(const Cube& full, const std::vector<Lit>& inputs,
+                    const std::function<bool()>& target_definite);
+  Cube ternary_lift_predecessor(const Cube& pred_full,
+                                const std::vector<Lit>& inputs,
+                                const Cube& successor);
+  Cube ternary_lift_bad(const Cube& state_full,
+                        const std::vector<Lit>& inputs);
+
+  const ts::TransitionSystem& ts_;
+  const Config& cfg_;
+  Ic3Stats& stats_;
+  std::unique_ptr<sat::Solver> solver_;
+  std::unique_ptr<aig::TernarySimulator> ternary_;
+  std::vector<aig::TV> latch_values_;
+  std::vector<aig::TV> input_values_;
+  std::size_t retired_tmp_ = 0;
+};
+
+}  // namespace pilot::ic3

@@ -1,0 +1,161 @@
+#include "ic3/solver_manager.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace pilot::ic3 {
+
+SolverManager::SolverManager(const TransitionSystem& ts, const Config& cfg,
+                             Ic3Stats& stats)
+    : ts_(ts), cfg_(cfg), stats_(stats) {
+  solver_ = std::make_unique<sat::Solver>();
+  solver_->set_seed(cfg_.seed);
+  install_base();
+}
+
+void SolverManager::install_base() {
+  ts_.install(*solver_);
+  act_vars_.clear();
+  retired_tmp_ = 0;
+  // Level 0: the initial cube, guarded by act_0.
+  ensure_level(0);
+  for (const Lit l : ts_.init_literals()) {
+    solver_->add_binary(~act(0), l);
+  }
+}
+
+void SolverManager::ensure_level(std::size_t k) {
+  while (act_vars_.size() <= k) {
+    act_vars_.push_back(solver_->new_var());
+  }
+}
+
+void SolverManager::add_lemma_clause(const Cube& cube, std::size_t level) {
+  ensure_level(level);
+  std::vector<Lit> clause = cube.negated_lits();
+  clause.push_back(~act(level));
+  solver_->add_clause(clause);
+}
+
+std::vector<Lit> SolverManager::frame_assumptions(std::size_t level) const {
+  std::vector<Lit> assumptions;
+  assumptions.reserve(act_vars_.size() - level);
+  for (std::size_t j = level; j < act_vars_.size(); ++j) {
+    assumptions.push_back(act(j));
+  }
+  return assumptions;
+}
+
+bool SolverManager::solve_bad(std::size_t level, const Deadline& deadline) {
+  ensure_level(level);
+  std::vector<Lit> assumptions = frame_assumptions(level);
+  assumptions.push_back(ts_.bad());
+  const sat::SolveResult res = solver_->solve(assumptions, deadline);
+  if (res == sat::SolveResult::kUnknown) throw TimeoutError{};
+  return res == sat::SolveResult::kSat;
+}
+
+bool SolverManager::relative_inductive(const Cube& c, std::size_t level,
+                                       bool cube_clause_in_frame,
+                                       Cube* core_out,
+                                       const Deadline& deadline) {
+  ensure_level(level);
+  std::vector<Lit> assumptions = frame_assumptions(level);
+
+  Lit tmp = sat::kLitUndef;
+  if (!cube_clause_in_frame) {
+    tmp = Lit::make(solver_->new_var());
+    std::vector<Lit> clause = c.negated_lits();
+    clause.push_back(~tmp);
+    solver_->add_clause(clause);
+    assumptions.push_back(tmp);
+  }
+  for (const Lit l : c) assumptions.push_back(ts_.prime(l));
+
+  const sat::SolveResult res = solver_->solve(assumptions, deadline);
+  if (!cube_clause_in_frame) {
+    solver_->add_unit(~tmp);  // retire the temporary clause
+    ++retired_tmp_;
+  }
+  if (res == sat::SolveResult::kUnknown) throw TimeoutError{};
+  if (res == sat::SolveResult::kSat) return false;
+  if (core_out != nullptr) *core_out = shrink_with_core(c);
+  return true;
+}
+
+Cube SolverManager::shrink_with_core(const Cube& c) const {
+  // Keep only the literals of c whose primed counterpart appears in the
+  // final-conflict core, then repair initiation: the shrunk cube must stay
+  // disjoint from I, which c itself is.
+  std::vector<Lit> kept;
+  const std::vector<Lit>& core = solver_->core();
+  for (const Lit l : c) {
+    const Lit primed = ts_.prime(l);
+    if (std::find(core.begin(), core.end(), primed) != core.end()) {
+      kept.push_back(l);
+    }
+  }
+  Cube shrunk = Cube::from_sorted(std::move(kept));
+  if (shrunk.empty()) return c;  // degenerate core; keep the original
+  if (ts_.cube_intersects_init(shrunk.lits())) {
+    // Add back one literal of c that contradicts the initial cube.
+    for (const Lit l : c) {
+      if (shrunk.contains(l)) continue;
+      const sat::LBool init = ts_.init_value(l.var());
+      if (init.is_undef()) continue;
+      const bool satisfied_in_init = init.is_true() != l.sign();
+      if (!satisfied_in_init) {
+        shrunk = shrunk.with_lit(l);
+        break;
+      }
+    }
+  }
+  return shrunk;
+}
+
+Cube SolverManager::model_state(bool primed) const {
+  std::vector<Lit> lits;
+  lits.reserve(ts_.num_latches());
+  for (std::size_t i = 0; i < ts_.num_latches(); ++i) {
+    const Var model_var =
+        primed ? ts_.next_state_var(i) : ts_.state_var(i);
+    const sat::LBool v = solver_->model_value(Lit::make(model_var));
+    if (v.is_undef()) continue;
+    lits.push_back(Lit::make(ts_.state_var(i), v.is_false()));
+  }
+  return Cube::from_lits(std::move(lits));
+}
+
+std::vector<Lit> SolverManager::model_inputs() const {
+  std::vector<Lit> lits;
+  lits.reserve(ts_.num_inputs());
+  for (std::size_t i = 0; i < ts_.num_inputs(); ++i) {
+    const Var v = ts_.input_var(i);
+    const sat::LBool val = solver_->model_value(Lit::make(v));
+    if (val.is_undef()) continue;
+    lits.push_back(Lit::make(v, val.is_false()));
+  }
+  return lits;
+}
+
+void SolverManager::rebuild(const Frames& frames) {
+  const std::size_t levels = act_vars_.size();
+  solver_ = std::make_unique<sat::Solver>();
+  solver_->set_seed(cfg_.seed);
+  install_base();
+  ensure_level(levels == 0 ? 0 : levels - 1);
+  for (std::size_t j = 1; j <= frames.top_level(); ++j) {
+    for (const Cube& c : frames.delta(j)) {
+      add_lemma_clause(c, j);
+    }
+  }
+  ++stats_.num_solver_rebuilds;
+  PILOT_DEBUG("solver rebuilt; lemmas=" << frames.total_lemmas());
+}
+
+void SolverManager::maybe_rebuild(const Frames& frames) {
+  if (retired_tmp_ >= cfg_.rebuild_tmp_threshold) rebuild(frames);
+}
+
+}  // namespace pilot::ic3

@@ -1,0 +1,96 @@
+/// \file solver_manager.hpp
+/// SAT query layer of the IC3 engine.
+///
+/// One incremental solver holds the transition relation T, the initial cube
+/// (guarded by act_0), and every lemma clause guarded by the activation
+/// literal of its top level.  A query against the logical frame
+/// R_i = ⋂_{j≥i} delta(j) simply assumes act_j for all j ≥ i; pushing a
+/// lemma re-adds its clause under the higher activation literal.
+///
+/// Temporary clauses (the ¬c part of a relative-induction query) get a
+/// fresh throw-away activation variable which is retired with a unit clause
+/// afterwards; the solver is rebuilt from the frames once enough junk has
+/// accumulated.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ic3/config.hpp"
+#include "ic3/cube.hpp"
+#include "ic3/frames.hpp"
+#include "ic3/stats.hpp"
+#include "sat/solver.hpp"
+#include "ts/transition_system.hpp"
+#include "util/timer.hpp"
+
+namespace pilot::ic3 {
+
+using ts::TransitionSystem;
+
+/// Thrown when a SAT call exhausts the model-checking deadline; caught by
+/// the engine, which reports Verdict::kUnknown.
+struct TimeoutError {};
+
+class SolverManager {
+ public:
+  SolverManager(const TransitionSystem& ts, const Config& cfg,
+                Ic3Stats& stats);
+
+  /// Makes activation literals for levels 0..k available.
+  void ensure_level(std::size_t k);
+
+  /// Adds the lemma clause ¬cube guarded by act(level).
+  void add_lemma_clause(const Cube& cube, std::size_t level);
+
+  /// SAT(R_level ∧ bad)?  On true, the model is available for extraction.
+  bool solve_bad(std::size_t level, const Deadline& deadline);
+
+  /// Relative induction: is the clause ¬c inductive relative to R_level,
+  /// i.e. UNSAT(R_level ∧ ¬c ∧ T ∧ c′)?
+  ///
+  /// `cube_clause_in_frame` skips the temporary ¬c clause for push queries,
+  /// where the lemma is already part of R_level.
+  ///
+  /// Returns true iff inductive; then `core_out` (if non-null) receives the
+  /// unsat-core-shrunk and initiation-repaired cube (⊆ c).  On false, the
+  /// CTI model is available via model_state()/model_inputs().
+  bool relative_inductive(const Cube& c, std::size_t level,
+                          bool cube_clause_in_frame, Cube* core_out,
+                          const Deadline& deadline);
+
+  /// Full latch cube from the last SAT model (primed = successor state X').
+  /// Either way the cube is expressed over *current-step* state variables.
+  [[nodiscard]] Cube model_state(bool primed) const;
+
+  /// Input literals from the last SAT model.
+  [[nodiscard]] std::vector<Lit> model_inputs() const;
+
+  /// Rebuilds the solver from scratch with the lemmas in `frames`.
+  void rebuild(const Frames& frames);
+
+  /// Rebuilds if enough temporary clauses have been retired.
+  void maybe_rebuild(const Frames& frames);
+
+  [[nodiscard]] const sat::SolverStats& sat_stats() const {
+    return solver_->stats();
+  }
+
+ private:
+  [[nodiscard]] Lit act(std::size_t level) const {
+    return Lit::make(act_vars_[level]);
+  }
+  /// Assumptions activating R_level: act_j for all j ≥ level.
+  [[nodiscard]] std::vector<Lit> frame_assumptions(std::size_t level) const;
+  void install_base();
+  Cube shrink_with_core(const Cube& c) const;
+
+  const TransitionSystem& ts_;
+  const Config& cfg_;
+  Ic3Stats& stats_;
+  std::unique_ptr<sat::Solver> solver_;
+  std::vector<Var> act_vars_;
+  std::size_t retired_tmp_ = 0;
+};
+
+}  // namespace pilot::ic3

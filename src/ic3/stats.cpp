@@ -1,0 +1,23 @@
+#include "ic3/stats.hpp"
+
+#include <sstream>
+
+namespace pilot::ic3 {
+
+std::string Ic3Stats::summary() const {
+  std::ostringstream oss;
+  oss << "frames=" << max_frame << " lemmas=" << num_lemmas
+      << " obligations=" << num_obligations << " ctis=" << num_ctis
+      << " generalizations=" << num_generalizations
+      << " mic_queries=" << num_mic_queries << " drops=" << num_mic_drops;
+  if (num_prediction_queries > 0 || num_found_failed_parents > 0) {
+    oss << " | predict: N_p=" << num_prediction_queries
+        << " N_sp=" << num_successful_predictions
+        << " N_fp=" << num_found_failed_parents
+        << " SR_lp=" << sr_lp() << " SR_fp=" << sr_fp()
+        << " SR_adv=" << sr_adv();
+  }
+  return oss.str();
+}
+
+}  // namespace pilot::ic3

@@ -1,0 +1,69 @@
+/// \file stats.hpp
+/// IC3 run statistics, including the success-rate counters defined in §4.3
+/// of the paper:
+///   N_g  — total generalizations            (num_generalizations)
+///   N_p  — prediction SAT queries           (num_prediction_queries)
+///   N_sp — successful lemma predictions     (num_successful_predictions)
+///   N_fp — generalizations that found a     (num_found_failed_parents)
+///          failed-pushed parent lemma
+/// and the derived rates SR_lp = N_sp/N_p, SR_fp = N_fp/N_g,
+/// SR_adv = N_sp/N_g.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pilot::ic3 {
+
+struct Ic3Stats {
+  // --- paper §4.3 counters ---
+  std::uint64_t num_generalizations = 0;        // N_g
+  std::uint64_t num_prediction_queries = 0;     // N_p
+  std::uint64_t num_successful_predictions = 0; // N_sp
+  std::uint64_t num_found_failed_parents = 0;   // N_fp
+
+  // --- engine counters ---
+  std::uint64_t num_obligations = 0;
+  std::uint64_t num_lemmas = 0;
+  std::uint64_t num_blocked_cubes = 0;
+  std::uint64_t num_ctis = 0;
+  std::uint64_t num_mic_queries = 0;       // SAT queries spent dropping vars
+  std::uint64_t num_mic_drops = 0;         // literals successfully dropped
+  std::uint64_t num_push_queries = 0;
+  std::uint64_t num_push_successes = 0;
+  std::uint64_t num_ctg_blocked = 0;
+  std::uint64_t num_solver_rebuilds = 0;
+  std::uint64_t num_subsumed_lemmas = 0;
+
+  // --- timing (seconds) ---
+  double time_total = 0.0;
+  double time_generalize = 0.0;
+  double time_predict = 0.0;
+  double time_propagate = 0.0;
+
+  std::size_t max_frame = 0;
+
+  // --- derived success rates (paper Table 2) ---
+  [[nodiscard]] double sr_lp() const {
+    return num_prediction_queries == 0
+               ? 0.0
+               : static_cast<double>(num_successful_predictions) /
+                     static_cast<double>(num_prediction_queries);
+  }
+  [[nodiscard]] double sr_fp() const {
+    return num_generalizations == 0
+               ? 0.0
+               : static_cast<double>(num_found_failed_parents) /
+                     static_cast<double>(num_generalizations);
+  }
+  [[nodiscard]] double sr_adv() const {
+    return num_generalizations == 0
+               ? 0.0
+               : static_cast<double>(num_successful_predictions) /
+                     static_cast<double>(num_generalizations);
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace pilot::ic3

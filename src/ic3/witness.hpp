@@ -1,0 +1,68 @@
+/// \file witness.hpp
+/// Verifiable certificates for both verdicts.
+///
+/// UNSAFE → a `Trace`: a chain of cubes with the inputs driving each step.
+/// Lifting guarantees the chain is *universal*: every concrete state in
+/// cube i transitions (under the recorded inputs) into cube i+1, and every
+/// state of the last cube raises the bad signal — so a concrete
+/// counterexample can be replayed by plain simulation from any init state
+/// in the first cube.
+///
+/// SAFE → an `InductiveInvariant`: the clause set of the fixpoint frame.
+/// Certification re-checks initiation, consecution, and property with an
+/// independent SAT solver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ic3/cube.hpp"
+#include "ts/transition_system.hpp"
+
+namespace pilot::ic3 {
+
+/// Counterexample: states[0] intersects I; inputs[i] drives states[i] to
+/// states[i+1]; inputs.back() drives states.back() into the bad signal.
+struct Trace {
+  std::vector<Cube> states;
+  std::vector<std::vector<Lit>> inputs;
+
+  [[nodiscard]] std::size_t length() const { return states.size(); }
+};
+
+/// Inductive strengthening: the conjunction of clauses ¬cube.
+struct InductiveInvariant {
+  std::vector<Cube> lemma_cubes;
+
+  [[nodiscard]] std::size_t num_clauses() const { return lemma_cubes.size(); }
+};
+
+/// Outcome of a certificate check; `ok` plus a human-readable reason.
+struct CheckOutcome {
+  bool ok = true;
+  std::string reason;
+};
+
+/// Replays the trace on the AIG with a concrete initial state drawn from
+/// states[0] ∧ I and checks that the bad signal fires at the end.
+CheckOutcome check_trace(const ts::TransitionSystem& ts, const Trace& trace);
+
+/// Certifies the invariant with an independent solver:
+///   (a) I ⇒ INV, (b) INV ∧ T ⇒ INV′, (c) INV ∧ bad unsatisfiable.
+CheckOutcome check_invariant(const ts::TransitionSystem& ts,
+                             const InductiveInvariant& inv);
+
+/// Renders a concrete counterexample in the AIGER/HWMCC witness format:
+///   1          (property violated)
+///   b<index>   (which bad property)
+///   <latch reset line>      e.g. 00100
+///   <one input line per step>
+///   .
+/// The trace cubes are concretized with the same defaults the checker
+/// uses (reset values, then cube literals, then 0), so the emitted witness
+/// replays on any AIGER simulator.
+std::string to_aiger_witness(const ts::TransitionSystem& ts,
+                             const Trace& trace,
+                             std::size_t property_index = 0);
+
+}  // namespace pilot::ic3

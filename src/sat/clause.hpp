@@ -1,0 +1,142 @@
+/// \file clause.hpp
+/// Region-allocated clause storage.
+///
+/// Clauses live in one contiguous arena and are referenced by 32-bit offsets
+/// (ClauseRef).  This halves pointer size, improves locality during
+/// propagation, and makes relocation-based garbage collection possible:
+/// reduce_db() frees learnt clauses and, once enough of the arena is dead,
+/// the solver copies live clauses into a fresh arena and patches every
+/// reference through relocation forwarding.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace pilot::sat {
+
+/// Offset of a clause within the arena.
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kClauseRefUndef = 0xFFFFFFFFu;
+
+/// Clause header + inline literal array.
+///
+/// Layout (32-bit words):
+///   word 0: size << 3 | learnt << 2 | relocated << 1 | has_extra
+///   word 1: float activity (learnt) or forwarding ref (relocated)
+///   word 2..: literals
+class Clause {
+ public:
+  [[nodiscard]] std::uint32_t size() const { return header_ >> 3; }
+  [[nodiscard]] bool learnt() const { return (header_ & 4) != 0; }
+  [[nodiscard]] bool relocated() const { return (header_ & 2) != 0; }
+
+  [[nodiscard]] Lit& operator[](std::uint32_t i) {
+    return lits()[i];
+  }
+  [[nodiscard]] Lit operator[](std::uint32_t i) const {
+    return lits()[i];
+  }
+
+  [[nodiscard]] Lit* begin() { return lits(); }
+  [[nodiscard]] Lit* end() { return lits() + size(); }
+  [[nodiscard]] const Lit* begin() const { return lits(); }
+  [[nodiscard]] const Lit* end() const { return lits() + size(); }
+
+  [[nodiscard]] float activity() const {
+    float out;
+    std::memcpy(&out, &extra_, sizeof(out));
+    return out;
+  }
+  void set_activity(float a) { std::memcpy(&extra_, &a, sizeof(a)); }
+
+  void set_relocation(ClauseRef forward) {
+    header_ |= 2;
+    extra_ = forward;
+  }
+  [[nodiscard]] ClauseRef relocation() const { return extra_; }
+
+  /// Removes the literal at position i by swapping in the last literal.
+  void swap_remove(std::uint32_t i) {
+    lits()[i] = lits()[size() - 1];
+    header_ -= 8;  // size -= 1
+  }
+
+ private:
+  friend class ClauseArena;
+
+  Clause(std::span<const Lit> literals, bool learnt) {
+    header_ = (static_cast<std::uint32_t>(literals.size()) << 3) |
+              (learnt ? 4u : 0u) | 1u;
+    extra_ = 0;
+    std::memcpy(lits(), literals.data(), literals.size() * sizeof(Lit));
+  }
+
+  Lit* lits() {
+    return reinterpret_cast<Lit*>(reinterpret_cast<std::uint32_t*>(this) + 2);
+  }
+  const Lit* lits() const {
+    return reinterpret_cast<const Lit*>(
+        reinterpret_cast<const std::uint32_t*>(this) + 2);
+  }
+
+  std::uint32_t header_;
+  std::uint32_t extra_;
+  // literals follow inline
+};
+
+/// Bump allocator for clauses with relocation GC support.
+class ClauseArena {
+ public:
+  ClauseArena() { memory_.reserve(1024 * 64); }
+
+  /// Allocates a clause; returns its reference.
+  ClauseRef alloc(std::span<const Lit> literals, bool learnt) {
+    const std::uint32_t need =
+        2 + static_cast<std::uint32_t>(literals.size());
+    const ClauseRef ref = static_cast<ClauseRef>(memory_.size());
+    memory_.resize(memory_.size() + need);
+    new (&memory_[ref]) Clause(literals, learnt);
+    return ref;
+  }
+
+  [[nodiscard]] Clause& deref(ClauseRef ref) {
+    assert(ref < memory_.size());
+    return *reinterpret_cast<Clause*>(&memory_[ref]);
+  }
+  [[nodiscard]] const Clause& deref(ClauseRef ref) const {
+    assert(ref < memory_.size());
+    return *reinterpret_cast<const Clause*>(&memory_[ref]);
+  }
+
+  /// Marks a clause's storage as garbage (space reclaimed at next gc).
+  void free_clause(ClauseRef ref) {
+    wasted_ += 2 + deref(ref).size();
+  }
+
+  /// Copies the clause at `ref` into `target`, recording the forwarding
+  /// address.  Returns the new reference; idempotent for already-moved
+  /// clauses.
+  ClauseRef relocate(ClauseRef ref, ClauseArena& target) {
+    Clause& c = deref(ref);
+    if (c.relocated()) return c.relocation();
+    const ClauseRef fresh =
+        target.alloc(std::span<const Lit>(c.begin(), c.size()), c.learnt());
+    if (c.learnt()) target.deref(fresh).set_activity(c.activity());
+    c.set_relocation(fresh);
+    return fresh;
+  }
+
+  [[nodiscard]] std::size_t size_words() const { return memory_.size(); }
+  [[nodiscard]] std::size_t wasted_words() const { return wasted_; }
+
+ private:
+  std::vector<std::uint32_t> memory_;
+  std::size_t wasted_ = 0;
+};
+
+}  // namespace pilot::sat

@@ -1,0 +1,99 @@
+#include "sat/dimacs.hpp"
+
+#include <cmath>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sat/solver.hpp"
+
+namespace pilot::sat {
+
+bool Cnf::evaluate(const std::vector<bool>& assignment) const {
+  for (const auto& clause : clauses) {
+    bool satisfied = false;
+    for (const Lit l : clause) {
+      const bool v = assignment[l.var()];
+      if (v != l.sign()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+Cnf parse_dimacs(std::istream& in) {
+  Cnf cnf;
+  std::string token;
+  bool header_seen = false;
+  std::vector<Lit> current;
+  while (in >> token) {
+    if (token == "c") {
+      std::string line;
+      std::getline(in, line);
+      continue;
+    }
+    if (token == "p") {
+      std::string fmt;
+      long long vars = 0;
+      long long clauses = 0;
+      if (!(in >> fmt >> vars >> clauses) || fmt != "cnf") {
+        throw std::runtime_error("dimacs: malformed problem line");
+      }
+      cnf.num_vars = static_cast<int>(vars);
+      header_seen = true;
+      continue;
+    }
+    long long value = 0;
+    try {
+      value = std::stoll(token);
+    } catch (...) {
+      throw std::runtime_error("dimacs: unexpected token '" + token + "'");
+    }
+    if (!header_seen) {
+      throw std::runtime_error("dimacs: literal before problem line");
+    }
+    if (value == 0) {
+      cnf.clauses.push_back(current);
+      current.clear();
+      continue;
+    }
+    const auto var = static_cast<Var>(std::llabs(value) - 1);
+    if (var >= cnf.num_vars) cnf.num_vars = var + 1;
+    current.push_back(Lit::make(var, value < 0));
+  }
+  if (!current.empty()) {
+    throw std::runtime_error("dimacs: clause not terminated by 0");
+  }
+  return cnf;
+}
+
+Cnf parse_dimacs_string(const std::string& text) {
+  std::istringstream iss(text);
+  return parse_dimacs(iss);
+}
+
+std::string to_dimacs(const Cnf& cnf) {
+  std::ostringstream oss;
+  oss << "p cnf " << cnf.num_vars << " " << cnf.clauses.size() << "\n";
+  for (const auto& clause : cnf.clauses) {
+    for (const Lit l : clause) {
+      oss << (l.sign() ? "-" : "") << (l.var() + 1) << " ";
+    }
+    oss << "0\n";
+  }
+  return oss.str();
+}
+
+bool load_into_solver(const Cnf& cnf, Solver& solver) {
+  while (solver.num_vars() < cnf.num_vars) solver.new_var();
+  bool ok = true;
+  for (const auto& clause : cnf.clauses) {
+    ok = solver.add_clause(clause) && ok;
+  }
+  return ok && solver.okay();
+}
+
+}  // namespace pilot::sat

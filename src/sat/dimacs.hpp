@@ -1,0 +1,40 @@
+/// \file dimacs.hpp
+/// DIMACS CNF reading and writing.
+///
+/// Used by the test suite (round-trip and cross-validation against a
+/// brute-force evaluator) and handy for debugging: any solver query can be
+/// dumped and replayed offline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace pilot::sat {
+
+class Solver;
+
+/// A CNF formula in memory: variable count plus clause list.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+
+  /// Evaluates the formula under a complete assignment
+  /// (`assignment[v]` = value of variable v).  Used by brute-force checks.
+  [[nodiscard]] bool evaluate(const std::vector<bool>& assignment) const;
+};
+
+/// Parses DIMACS text.  Throws std::runtime_error on malformed input.
+Cnf parse_dimacs(std::istream& in);
+Cnf parse_dimacs_string(const std::string& text);
+
+/// Renders a formula in DIMACS format.
+std::string to_dimacs(const Cnf& cnf);
+
+/// Loads a formula into a solver, creating variables as needed.
+/// Returns false if the solver derived top-level unsatisfiability.
+bool load_into_solver(const Cnf& cnf, Solver& solver);
+
+}  // namespace pilot::sat

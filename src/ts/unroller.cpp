@@ -1,0 +1,64 @@
+#include "ts/unroller.hpp"
+
+#include <stdexcept>
+
+namespace pilot::ts {
+
+Unroller::Unroller(const TransitionSystem& ts, sat::Solver& solver,
+                   bool assert_init)
+    : ts_(ts), solver_(solver), assert_init_(assert_init),
+      bad_template_(ts.bad()) {
+  if (solver.num_vars() != 0) {
+    throw std::logic_error("unroller: solver must be fresh");
+  }
+  encode_frame();  // frame 0
+  if (assert_init_) {
+    for (const Lit l : ts_.init_literals()) {
+      solver_.add_unit(Lit::make(frame_base_[0] + l.var(), l.sign()));
+    }
+  }
+}
+
+void Unroller::extend_to(int k) {
+  while (max_frame() < k) encode_frame();
+}
+
+void Unroller::encode_frame() {
+  const Aig& aig = ts_.aig();
+  const auto frame = static_cast<int>(frame_base_.size());
+  const Var base = static_cast<Var>(solver_.num_vars());
+  frame_base_.push_back(base);
+  for (std::size_t i = 0; i < aig.num_nodes(); ++i) solver_.new_var();
+
+  auto at = [&](AigLit l) {
+    return Lit::make(base + static_cast<Var>(l.node()), l.negated());
+  };
+
+  // Assert the literal that represents constant true (node 0 is the
+  // constant-false node, so its negation must hold).
+  solver_.add_unit(at(AigLit::constant(true)));
+  for (const std::uint32_t n : aig.ands()) {
+    const Lit g = Lit::make(base + static_cast<Var>(n));
+    const Lit a = at(aig.fanin0(n));
+    const Lit b = at(aig.fanin1(n));
+    solver_.add_binary(~g, a);
+    solver_.add_binary(~g, b);
+    solver_.add_ternary(g, ~a, ~b);
+  }
+  for (const AigLit c : aig.constraints()) solver_.add_unit(at(c));
+
+  if (frame > 0) {
+    // Tie this frame's latches to the previous frame's next-state functions.
+    const Var prev_base = frame_base_[frame - 1];
+    for (const std::uint32_t latch : aig.latches()) {
+      const Lit now = Lit::make(base + static_cast<Var>(latch));
+      const Lit fn = Lit::make(
+          prev_base + static_cast<Var>(aig.next(latch).node()),
+          aig.next(latch).negated());
+      solver_.add_binary(~now, fn);
+      solver_.add_binary(now, ~fn);
+    }
+  }
+}
+
+}  // namespace pilot::ts

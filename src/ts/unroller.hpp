@@ -1,0 +1,69 @@
+/// \file unroller.hpp
+/// Incremental time-frame expansion of a transition system inside one SAT
+/// solver — the substrate for BMC and k-induction.
+///
+/// Frame f gets a full copy of the combinational step variables; the latch
+/// variables of frame f+1 are fresh and constrained to equal the next-state
+/// functions evaluated at frame f.  Frames are only ever appended, so all
+/// learnt clauses remain valid (pure incremental unrolling).
+#pragma once
+
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "ts/transition_system.hpp"
+
+namespace pilot::ts {
+
+class Unroller {
+ public:
+  /// Binds the unroller to a fresh solver.  When `assert_init` holds, the
+  /// initial-state cube is asserted at frame 0 (BMC); k-induction leaves the
+  /// first frame unconstrained.
+  Unroller(const TransitionSystem& ts, sat::Solver& solver,
+           bool assert_init = true);
+
+  /// Ensures frames 0..k exist (combinational logic encoded for each).
+  void extend_to(int k);
+
+  /// Number of encoded frames minus one (largest valid frame index).
+  [[nodiscard]] int max_frame() const {
+    return static_cast<int>(frame_base_.size()) - 1;
+  }
+
+  /// Literal of an AIG literal at time frame f.
+  [[nodiscard]] Lit lit(AigLit l, int frame) const {
+    return Lit::make(frame_base_[frame] + static_cast<Var>(l.node()),
+                     l.negated());
+  }
+
+  /// Bad-cone literal at frame f.
+  [[nodiscard]] Lit bad(int frame) const {
+    return Lit::make(frame_base_[frame] + bad_template_.var(),
+                     bad_template_.sign());
+  }
+
+  /// State variable of latch i at frame f.
+  [[nodiscard]] Var state_var(std::size_t latch_index, int frame) const {
+    return frame_base_[frame] +
+           static_cast<Var>(ts_.aig().latches()[latch_index]);
+  }
+  /// Input variable of input i at frame f.
+  [[nodiscard]] Var input_var(std::size_t input_index, int frame) const {
+    return frame_base_[frame] +
+           static_cast<Var>(ts_.aig().inputs()[input_index]);
+  }
+
+  const TransitionSystem& system() const { return ts_; }
+
+ private:
+  void encode_frame();
+
+  const TransitionSystem& ts_;
+  sat::Solver& solver_;
+  bool assert_init_;
+  Lit bad_template_;             // bad literal relative to a frame base
+  std::vector<Var> frame_base_;  // first variable of each frame
+};
+
+}  // namespace pilot::ts

@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace pilot {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+namespace logcfg {
+LogLevel level() { return g_level.load(std::memory_order_relaxed); }
+void set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+}  // namespace logcfg
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[pilot:%s] %s\n", level_tag(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace pilot

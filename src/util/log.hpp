@@ -1,0 +1,42 @@
+/// \file log.hpp
+/// Minimal leveled logging to stderr.
+///
+/// Engines log structural progress (frame counts, restarts) at Info and
+/// per-query detail at Debug.  The level is a process-wide setting so that
+/// examples and benches can silence the library wholesale.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pilot {
+
+enum class LogLevel { kSilent = 0, kError, kWarn, kInfo, kDebug };
+
+/// Process-wide log configuration.
+namespace logcfg {
+LogLevel level();
+void set_level(LogLevel level);
+}  // namespace logcfg
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Logs `expr` (an ostream chain) at the given level when enabled.
+#define PILOT_LOG(level_, expr_)                                   \
+  do {                                                             \
+    if (static_cast<int>(::pilot::logcfg::level()) >=              \
+        static_cast<int>(level_)) {                                \
+      std::ostringstream pilot_log_oss_;                           \
+      pilot_log_oss_ << expr_;                                     \
+      ::pilot::detail::emit(level_, pilot_log_oss_.str());         \
+    }                                                              \
+  } while (0)
+
+#define PILOT_ERROR(expr_) PILOT_LOG(::pilot::LogLevel::kError, expr_)
+#define PILOT_WARN(expr_) PILOT_LOG(::pilot::LogLevel::kWarn, expr_)
+#define PILOT_INFO(expr_) PILOT_LOG(::pilot::LogLevel::kInfo, expr_)
+#define PILOT_DEBUG(expr_) PILOT_LOG(::pilot::LogLevel::kDebug, expr_)
+
+}  // namespace pilot

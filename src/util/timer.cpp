@@ -1,0 +1,11 @@
+// Intentionally thin: Timer and Deadline are header-only; this translation
+// unit exists so the util library has a stable archive member even when a
+// toolchain rejects header-only static libraries.
+#include "util/timer.hpp"
+
+namespace pilot {
+namespace {
+// Anchor symbol keeping the TU non-empty under all toolchains.
+[[maybe_unused]] const Timer g_process_timer{};
+}  // namespace
+}  // namespace pilot

@@ -1,0 +1,79 @@
+/// \file timer.hpp
+/// Wall-clock timers and cooperative deadlines.
+///
+/// Every long-running engine in pilot (SAT solver, IC3, BMC) takes a
+/// `Deadline` and polls it at coarse-grained points (e.g. every few thousand
+/// conflicts).  This gives the benchmark harness reproducible per-case
+/// budgets without signals or threads.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace pilot {
+
+/// Monotonic stopwatch measuring elapsed wall-clock time.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget that cooperating engines poll.
+///
+/// A default-constructed Deadline never expires.  Deadlines are value types
+/// and cheap to copy; engines receive them by value.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `budget_ms` milliseconds after the call.
+  static Deadline in_milliseconds(std::int64_t budget_ms) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.end_ = Clock::now() + std::chrono::milliseconds(budget_ms);
+    return d;
+  }
+
+  /// Expires `budget_s` seconds after the call.
+  static Deadline in_seconds(double budget_s) {
+    return in_milliseconds(static_cast<std::int64_t>(budget_s * 1e3));
+  }
+
+  [[nodiscard]] bool unlimited() const { return unlimited_; }
+
+  /// True once the budget is exhausted.
+  [[nodiscard]] bool expired() const {
+    return !unlimited_ && Clock::now() >= end_;
+  }
+
+  /// Remaining budget in seconds (infinity if unlimited, clamps at 0).
+  [[nodiscard]] double remaining_seconds() const {
+    if (unlimited_) return std::numeric_limits<double>::infinity();
+    const double r = std::chrono::duration<double>(end_ - Clock::now()).count();
+    return r > 0.0 ? r : 0.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool unlimited_ = true;
+  Clock::time_point end_{};
+};
+
+}  // namespace pilot

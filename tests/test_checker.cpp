@@ -1,0 +1,135 @@
+/// Check-facade tests: engine-kind mapping, the paper-configuration table,
+/// option plumbing (budgets, overrides), and witness propagation through
+/// CheckResult.
+#include <gtest/gtest.h>
+
+#include "check/checker.hpp"
+#include "circuits/builder.hpp"
+#include "circuits/families.hpp"
+
+namespace pilot::check {
+namespace {
+
+TEST(Checker, EngineKindStringsRoundTrip) {
+  for (const EngineKind k :
+       {EngineKind::kIc3Down, EngineKind::kIc3DownPl, EngineKind::kIc3Ctg,
+        EngineKind::kIc3CtgPl, EngineKind::kIc3Cav23, EngineKind::kPdr,
+        EngineKind::kBmc, EngineKind::kKinduction}) {
+    EXPECT_EQ(engine_kind_from_string(to_string(k)), k);
+  }
+  EXPECT_THROW(engine_kind_from_string("nope"), std::invalid_argument);
+}
+
+TEST(Checker, PaperConfigurationsMatchTable1Order) {
+  const auto& configs = paper_configurations();
+  ASSERT_EQ(configs.size(), 6u);
+  EXPECT_EQ(configs[0], EngineKind::kIc3Down);    // RIC3
+  EXPECT_EQ(configs[1], EngineKind::kIc3DownPl);  // RIC3-pl
+  EXPECT_EQ(configs[2], EngineKind::kIc3Ctg);     // IC3ref
+  EXPECT_EQ(configs[3], EngineKind::kIc3CtgPl);   // IC3ref-pl
+  EXPECT_EQ(configs[4], EngineKind::kIc3Cav23);   // IC3ref-CAV23
+  EXPECT_EQ(configs[5], EngineKind::kPdr);        // ABC-PDR
+}
+
+TEST(Checker, ConfigForSetsTheRightKnobs) {
+  const ic3::Config down = config_for(EngineKind::kIc3Down, 1);
+  EXPECT_EQ(down.gen_mode, ic3::GenMode::kDown);
+  EXPECT_FALSE(down.predict_lemmas);
+
+  const ic3::Config down_pl = config_for(EngineKind::kIc3DownPl, 1);
+  EXPECT_EQ(down_pl.gen_mode, ic3::GenMode::kDown);
+  EXPECT_TRUE(down_pl.predict_lemmas);
+
+  const ic3::Config ctg_pl = config_for(EngineKind::kIc3CtgPl, 1);
+  EXPECT_EQ(ctg_pl.gen_mode, ic3::GenMode::kCtg);
+  EXPECT_TRUE(ctg_pl.predict_lemmas);
+
+  const ic3::Config cav = config_for(EngineKind::kIc3Cav23, 1);
+  EXPECT_EQ(cav.gen_mode, ic3::GenMode::kCav23);
+
+  const ic3::Config pdr = config_for(EngineKind::kPdr, 1);
+  EXPECT_EQ(pdr.gen_mode, ic3::GenMode::kDown);
+  EXPECT_EQ(pdr.ctg_max_ctgs, 0);
+  EXPECT_EQ(pdr.lift_mode, ic3::Config::LiftMode::kTernary);
+
+  EXPECT_THROW(config_for(EngineKind::kBmc, 1), std::invalid_argument);
+}
+
+TEST(Checker, ResultCarriesVerifiedTrace) {
+  const auto cc = circuits::counter_unsafe(4, 6);
+  CheckOptions opts;
+  opts.engine = EngineKind::kIc3CtgPl;
+  const CheckResult r = check_aig(cc.aig, opts);
+  EXPECT_EQ(r.verdict, ic3::Verdict::kUnsafe);
+  ASSERT_TRUE(r.trace.has_value());
+  EXPECT_TRUE(r.witness_checked);
+  EXPECT_TRUE(r.witness_error.empty());
+  EXPECT_FALSE(r.invariant.has_value());
+}
+
+TEST(Checker, ResultCarriesVerifiedInvariant) {
+  const auto cc = circuits::token_ring_safe(5);
+  CheckOptions opts;
+  opts.engine = EngineKind::kIc3Down;
+  const CheckResult r = check_aig(cc.aig, opts);
+  EXPECT_EQ(r.verdict, ic3::Verdict::kSafe);
+  ASSERT_TRUE(r.invariant.has_value());
+  EXPECT_TRUE(r.witness_checked);
+  EXPECT_FALSE(r.trace.has_value());
+}
+
+TEST(Checker, BmcProducesTraceButCannotProve) {
+  CheckOptions opts;
+  opts.engine = EngineKind::kBmc;
+  opts.budget_ms = 3000;
+  const CheckResult unsafe_r =
+      check_aig(circuits::counter_unsafe(4, 6).aig, opts);
+  EXPECT_EQ(unsafe_r.verdict, ic3::Verdict::kUnsafe);
+  EXPECT_TRUE(unsafe_r.trace.has_value());
+
+  const CheckResult safe_r =
+      check_aig(circuits::token_ring_safe(4).aig, opts);
+  EXPECT_EQ(safe_r.verdict, ic3::Verdict::kUnknown);  // bound/budget only
+}
+
+TEST(Checker, OverridesTakePrecedence) {
+  // Engine says ctg+pl, but the override forces prediction off — the
+  // stats must show zero prediction queries.
+  const auto cc = circuits::counter_wrap_safe(5, 16, 30);
+  CheckOptions opts;
+  opts.engine = EngineKind::kIc3CtgPl;
+  ic3::Config override_cfg = config_for(EngineKind::kIc3CtgPl, 0);
+  override_cfg.predict_lemmas = false;
+  opts.ic3_overrides = override_cfg;
+  const CheckResult r = check_aig(cc.aig, opts);
+  EXPECT_EQ(r.verdict, ic3::Verdict::kSafe);
+  EXPECT_EQ(r.stats.num_prediction_queries, 0u);
+}
+
+TEST(Checker, BudgetYieldsUnknown) {
+  // A case that certainly needs more than 1 ms.
+  const auto cc = circuits::counter_wrap_safe(10, 320, 900);
+  CheckOptions opts;
+  opts.engine = EngineKind::kIc3Ctg;
+  opts.budget_ms = 1;
+  const CheckResult r = check_aig(cc.aig, opts);
+  EXPECT_EQ(r.verdict, ic3::Verdict::kUnknown);
+}
+
+TEST(Checker, PropertyIndexSelectsAmongBads) {
+  // Two bad properties: bad0 = count==2 (reachable), bad1 = constant false.
+  aig::Aig a;
+  const circuits::Word count = circuits::make_latches(a, 3, 0, "c");
+  circuits::connect(a, count, circuits::increment(a, count));
+  a.add_bad(circuits::equals_const(a, count, 2));
+  a.add_bad(aig::AigLit::constant(false));
+  CheckOptions opts;
+  opts.engine = EngineKind::kIc3Down;
+  opts.property_index = 0;
+  EXPECT_EQ(check_aig(a, opts).verdict, ic3::Verdict::kUnsafe);
+  opts.property_index = 1;
+  EXPECT_EQ(check_aig(a, opts).verdict, ic3::Verdict::kSafe);
+}
+
+}  // namespace
+}  // namespace pilot::check

@@ -1,0 +1,168 @@
+/// Circuit-family tests: construction sanity via simulation (do unsafe
+/// circuits actually exhibit bad at the advertised depth? do safe ones
+/// hold over long random runs?), suite composition, and word-level builder
+/// helpers.
+#include <gtest/gtest.h>
+
+#include "aig/simulation.hpp"
+#include "circuits/builder.hpp"
+#include "circuits/suite.hpp"
+#include "util/rng.hpp"
+
+namespace pilot::circuits {
+namespace {
+
+/// Random simulation: returns true if bad fires within `steps` steps on any
+/// of the 64 lanes whose entire input history satisfied the constraints
+/// (constrained semantics require every step of the path to be valid, so
+/// the validity mask accumulates across steps).
+bool random_sim_hits_bad(const CircuitCase& cc, int steps,
+                         std::uint64_t seed) {
+  aig::BitSimulator sim(cc.aig);
+  sim.reset();
+  pilot::Rng rng(seed);
+  std::uint64_t valid = ~0ULL;
+  for (int s = 0; s < steps; ++s) {
+    std::vector<std::uint64_t> inputs(cc.aig.num_inputs());
+    for (auto& w : inputs) w = rng.next_u64();
+    sim.compute(inputs);
+    for (const aig::AigLit c : cc.aig.constraints()) valid &= sim.value(c);
+    if ((sim.value(cc.aig.bads()[0]) & valid) != 0) return true;
+    sim.latch_step();
+  }
+  return false;
+}
+
+TEST(Circuits, SafeFamiliesSurviveRandomSimulation) {
+  const std::vector<CircuitCase> safes = {
+      counter_wrap_safe(5, 16, 30), token_ring_safe(6),   arbiter_safe(5),
+      gray_counter_safe(5),         lfsr_safe(6, 0b100001), fifo_safe(4, 11),
+      saturating_accumulator_safe(5, 20), twin_counters_safe(6),
+      mutex_safe(),                 ring_parity_safe(7),
+      combination_lock_safe(3, {1, 2, 3, 4}, 2), shift_register(6, true),
+  };
+  for (const auto& cc : safes) {
+    EXPECT_FALSE(random_sim_hits_bad(cc, 300, 17)) << cc.name;
+    EXPECT_TRUE(cc.expected_safe) << cc.name;
+  }
+}
+
+TEST(Circuits, UnsafeCircuitsWithKnownDepthHitBadDeterministically) {
+  // Input-free unsafe circuits must show bad at exactly the advertised
+  // frame under plain simulation.
+  for (const auto& [cc, depth] :
+       std::vector<std::pair<CircuitCase, int>>{
+           {counter_unsafe(6, 19), 19},
+           {gray_counter_unsafe(5), 2},
+           {lfsr_unsafe(6, 0b100001, 11), 11}}) {
+    ASSERT_EQ(cc.aig.num_inputs(), 0u) << cc.name;
+    aig::BitSimulator sim(cc.aig);
+    sim.reset();
+    for (int s = 0; s < depth; ++s) {
+      sim.compute({});
+      EXPECT_EQ(sim.value(cc.aig.bads()[0]) & 1ULL, 0ULL)
+          << cc.name << " fired early at " << s;
+      sim.latch_step();
+    }
+    sim.compute({});
+    EXPECT_EQ(sim.value(cc.aig.bads()[0]) & 1ULL, 1ULL)
+        << cc.name << " did not fire at " << depth;
+  }
+}
+
+TEST(Circuits, UnsafeInputDrivenCircuitsReachableByGuidedSim) {
+  // Driving all-ones inputs reaches bad for these families.
+  for (const auto& cc :
+       {shift_register(5, false), counter_enable_unsafe(4, 9),
+        fifo_unsafe(4, 6)}) {
+    aig::BitSimulator sim(cc.aig);
+    sim.reset();
+    bool hit = false;
+    for (int s = 0; s < 64 && !hit; ++s) {
+      std::vector<std::uint64_t> inputs(cc.aig.num_inputs(), ~0ULL);
+      if (cc.family == "fifo") inputs[1] = 0;  // push only, no pop
+      sim.compute(inputs);
+      hit = (sim.value(cc.aig.bads()[0]) & 1ULL) != 0;
+      sim.latch_step();
+    }
+    EXPECT_TRUE(hit) << cc.name;
+  }
+}
+
+TEST(Circuits, SuiteSizesAreOrderedAndWellFormed) {
+  const auto tiny = make_suite(SuiteSize::kTiny);
+  const auto quick = make_suite(SuiteSize::kQuick);
+  const auto full = make_suite(SuiteSize::kFull);
+  EXPECT_LT(tiny.size(), quick.size());
+  EXPECT_LT(quick.size(), full.size());
+  EXPECT_GE(full.size(), 60u);
+
+  for (const auto& cc : full) {
+    EXPECT_FALSE(cc.name.empty());
+    EXPECT_FALSE(cc.family.empty());
+    ASSERT_EQ(cc.aig.bads().size(), 1u) << cc.name;
+    EXPECT_GT(cc.aig.num_latches(), 0u) << cc.name;
+  }
+  // Names must be unique (they key the experiment records).
+  std::set<std::string> names;
+  for (const auto& cc : full) {
+    EXPECT_TRUE(names.insert(cc.name).second) << "duplicate " << cc.name;
+  }
+  // The suite must contain both verdict classes in quantity.
+  const auto safe_count = static_cast<std::size_t>(std::count_if(
+      full.begin(), full.end(), [](const auto& c) { return c.expected_safe; }));
+  EXPECT_GT(safe_count, full.size() / 4);
+  EXPECT_GT(full.size() - safe_count, full.size() / 4);
+}
+
+TEST(Circuits, BuilderArithmetic) {
+  Aig a;
+  const Word x = make_inputs(a, 4);
+  const Word y = make_inputs(a, 4);
+  const Word sum = ripple_add(a, x, y);
+  const Word diff = subtract(a, x, y);
+  aig::BitSimulator sim(a);
+  pilot::Rng rng(3);
+  for (int round = 0; round < 32; ++round) {
+    const std::uint64_t xv = rng.below(16);
+    const std::uint64_t yv = rng.below(16);
+    std::vector<std::uint64_t> inputs;
+    for (int i = 0; i < 4; ++i) inputs.push_back(((xv >> i) & 1) ? ~0ULL : 0);
+    for (int i = 0; i < 4; ++i) inputs.push_back(((yv >> i) & 1) ? ~0ULL : 0);
+    sim.compute(inputs);
+    std::uint64_t sum_v = 0;
+    std::uint64_t diff_v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (sim.value(sum[i]) & 1ULL) sum_v |= 1ULL << i;
+      if (sim.value(diff[i]) & 1ULL) diff_v |= 1ULL << i;
+    }
+    EXPECT_EQ(sum_v, (xv + yv) & 0xF);
+    EXPECT_EQ(diff_v, (xv - yv) & 0xF);
+  }
+}
+
+TEST(Circuits, BuilderComparisonsAndPredicates) {
+  Aig a;
+  const Word x = make_inputs(a, 4);
+  const aig::AigLit eq7 = equals_const(a, x, 7);
+  const aig::AigLit lt5 = less_than_const(a, x, 5);
+  const aig::AigLit two = at_least_two(a, x);
+  const aig::AigLit one = exactly_one(a, x);
+  const aig::AigLit par = parity(a, x);
+  aig::BitSimulator sim(a);
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    std::vector<std::uint64_t> inputs;
+    for (int i = 0; i < 4; ++i) inputs.push_back(((v >> i) & 1) ? ~0ULL : 0);
+    sim.compute(inputs);
+    EXPECT_EQ(sim.value(eq7) & 1ULL, v == 7 ? 1ULL : 0ULL) << v;
+    EXPECT_EQ(sim.value(lt5) & 1ULL, v < 5 ? 1ULL : 0ULL) << v;
+    const int pop = __builtin_popcountll(v);
+    EXPECT_EQ(sim.value(two) & 1ULL, pop >= 2 ? 1ULL : 0ULL) << v;
+    EXPECT_EQ(sim.value(one) & 1ULL, pop == 1 ? 1ULL : 0ULL) << v;
+    EXPECT_EQ(sim.value(par) & 1ULL, static_cast<std::uint64_t>(pop & 1))
+        << v;
+  }
+}
+
+}  // namespace
+}  // namespace pilot::circuits

@@ -1,0 +1,163 @@
+/// Cube tests, including property-based checks of the paper's Theorems
+/// 3.2–3.4 about diff sets (Definition 3.1) — the logical foundation the
+/// prediction mechanism rests on.
+#include <gtest/gtest.h>
+
+#include "ic3/cube.hpp"
+#include "util/rng.hpp"
+
+namespace pilot::ic3 {
+namespace {
+
+Lit pos(int v) { return Lit::make(v); }
+Lit neg(int v) { return Lit::make(v, true); }
+
+TEST(Cube, FromLitsSortsAndDeduplicates) {
+  const Cube c = Cube::from_lits({pos(5), pos(1), pos(5), neg(3)});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+  EXPECT_TRUE(c.contains(pos(1)));
+  EXPECT_TRUE(c.contains(neg(3)));
+  EXPECT_FALSE(c.contains(pos(3)));
+}
+
+TEST(Cube, SubsetOf) {
+  const Cube small = Cube::from_lits({pos(1), neg(3)});
+  const Cube big = Cube::from_lits({pos(1), neg(3), pos(7)});
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(small.subset_of(small));
+  EXPECT_TRUE(Cube{}.subset_of(small));
+}
+
+TEST(Cube, WithAndWithout) {
+  const Cube c = Cube::from_lits({pos(1), pos(4)});
+  EXPECT_EQ(c.without(pos(1)), Cube::from_lits({pos(4)}));
+  EXPECT_EQ(c.without(pos(9)), c);  // absent literal: no-op
+  EXPECT_EQ(c.with_lit(pos(2)), Cube::from_lits({pos(1), pos(2), pos(4)}));
+  EXPECT_EQ(c.with_lit(pos(4)), c);  // present literal: no-op
+}
+
+TEST(Cube, DiffSetDefinition) {
+  // diff(a,b) = literals of a whose negation is in b (Definition 3.1).
+  const Cube a = Cube::from_lits({pos(1), neg(2), pos(3)});
+  const Cube b = Cube::from_lits({neg(1), pos(2), pos(3)});
+  const Cube d = a.diff(b);
+  EXPECT_EQ(d, Cube::from_lits({pos(1), neg(2)}));
+  // Asymmetry: diff(b,a) has b's polarities.
+  EXPECT_EQ(b.diff(a), Cube::from_lits({neg(1), pos(2)}));
+}
+
+TEST(Cube, NegatedLitsFormsTheLemmaClause) {
+  const Cube c = Cube::from_lits({pos(1), neg(2)});
+  const std::vector<Lit> clause = c.negated_lits();
+  ASSERT_EQ(clause.size(), 2u);
+  EXPECT_EQ(clause[0], neg(1));
+  EXPECT_EQ(clause[1], pos(2));
+}
+
+TEST(Cube, HashingIsContentBased) {
+  const Cube a = Cube::from_lits({pos(2), neg(7)});
+  const Cube b = Cube::from_lits({neg(7), pos(2)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  const Cube c = Cube::from_lits({pos(2), pos(7)});
+  EXPECT_NE(a, c);
+}
+
+// --- property tests of the paper's theorems ---------------------------------
+
+class DiffSetProperties : public ::testing::TestWithParam<int> {
+ protected:
+  Cube random_cube(Rng& rng, int num_vars, double density) {
+    std::vector<Lit> lits;
+    for (int v = 0; v < num_vars; ++v) {
+      if (rng.chance(density)) lits.push_back(Lit::make(v, rng.chance(0.5)));
+    }
+    return Cube::from_lits(std::move(lits));
+  }
+};
+
+TEST_P(DiffSetProperties, Theorem32_EmptyDiffIffCubesIntersect) {
+  // Theorem 3.2: for non-⊥ cubes a, b:  a ∧ b = ⊥  ⟺  diff(a,b) ≠ ∅.
+  Rng rng(GetParam() * 131 + 7);
+  for (int round = 0; round < 200; ++round) {
+    const Cube a = random_cube(rng, 10, 0.5);
+    const Cube b = random_cube(rng, 10, 0.5);
+    // a ∧ b = ⊥ iff some variable appears with opposite signs.
+    bool contradict = false;
+    for (const Lit l : a) {
+      if (b.contains(~l)) contradict = true;
+    }
+    EXPECT_EQ(contradict, !a.diff(b).empty());
+    EXPECT_EQ(contradict, !b.diff(a).empty());  // symmetry of emptiness
+  }
+}
+
+TEST_P(DiffSetProperties, Theorem33_IntersectingTheDiffPreservesNonEmpty) {
+  // Theorem 3.3: diff(a,b) ≠ ∅ ∧ c ∩ diff(a,b) ≠ ∅ ⟹ diff(c,b) ≠ ∅.
+  Rng rng(GetParam() * 733 + 3);
+  for (int round = 0; round < 200; ++round) {
+    const Cube a = random_cube(rng, 10, 0.5);
+    const Cube b = random_cube(rng, 10, 0.5);
+    const Cube c = random_cube(rng, 10, 0.5);
+    const Cube d = a.diff(b);
+    if (d.empty() || c.intersect(d).empty()) continue;
+    EXPECT_FALSE(c.diff(b).empty());
+  }
+}
+
+TEST_P(DiffSetProperties, Theorem34_ImplicationIsSupersetOfLiterals) {
+  // Theorem 3.4: a ⇒ b iff b ⊆ a (for consistent cubes).  Check the
+  // literal-set direction against brute-force state semantics.
+  Rng rng(GetParam() * 517 + 1);
+  const int num_vars = 6;
+  for (int round = 0; round < 100; ++round) {
+    const Cube a = random_cube(rng, num_vars, 0.6);
+    const Cube b = random_cube(rng, num_vars, 0.4);
+    auto satisfies = [&](std::uint32_t assignment, const Cube& c) {
+      for (const Lit l : c) {
+        const bool bit = ((assignment >> l.var()) & 1u) != 0;
+        if (bit == l.sign()) return false;
+      }
+      return true;
+    };
+    bool implies = true;
+    for (std::uint32_t s = 0; s < (1u << num_vars); ++s) {
+      if (satisfies(s, a) && !satisfies(s, b)) {
+        implies = false;
+        break;
+      }
+    }
+    EXPECT_EQ(implies, b.subset_of(a))
+        << "a=" << a.to_string() << " b=" << b.to_string();
+  }
+}
+
+TEST_P(DiffSetProperties, Equation6_CandidateConstruction) {
+  // §3.2: c3 = c2 ∪ {l}, l ∈ diff(b, t) with c2 ⊆ b gives
+  // t ⊭ c3, b ⊨ c3, c3 ⇒ c2  (Equations 2-4).
+  Rng rng(GetParam() * 89 + 17);
+  for (int round = 0; round < 200; ++round) {
+    const Cube b = random_cube(rng, 10, 0.7);
+    const Cube t = random_cube(rng, 10, 0.9);
+    const Cube ds = b.diff(t);
+    if (ds.empty() || b.empty()) continue;
+    // c2: random subset of b.
+    std::vector<Lit> sub;
+    for (const Lit l : b) {
+      if (rng.chance(0.5)) sub.push_back(l);
+    }
+    const Cube c2 = Cube::from_sorted(std::move(sub));
+    const Lit extension = ds[rng.below(ds.size())];
+    const Cube c3 = c2.with_lit(extension);
+    EXPECT_FALSE(c3.diff(t).empty());   // Eq. 2 via Thm 3.2: c3 ∧ t = ⊥
+    EXPECT_TRUE(c3.subset_of(b));       // Eq. 3: b ⊨ c3 (Thm 3.4)
+    EXPECT_TRUE(c2.subset_of(c3));      // Eq. 4: c3 ⇒ c2
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffSetProperties, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace pilot::ic3

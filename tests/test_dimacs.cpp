@@ -1,0 +1,82 @@
+/// DIMACS parser/printer tests: round trips, malformed inputs, evaluation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+
+namespace pilot::sat {
+namespace {
+
+TEST(Dimacs, ParsesSimpleFormula) {
+  const Cnf cnf = parse_dimacs_string("p cnf 3 2\n1 -2 0\n2 3 0\n");
+  EXPECT_EQ(cnf.num_vars, 3);
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0].size(), 2u);
+  EXPECT_EQ(cnf.clauses[0][0], Lit::make(0));
+  EXPECT_EQ(cnf.clauses[0][1], Lit::make(1, true));
+}
+
+TEST(Dimacs, SkipsComments) {
+  const Cnf cnf =
+      parse_dimacs_string("c a comment\np cnf 2 1\nc inner\n1 2 0\n");
+  EXPECT_EQ(cnf.clauses.size(), 1u);
+}
+
+TEST(Dimacs, RoundTrip) {
+  const std::string text = "p cnf 4 3\n1 -2 0\n-3 4 0\n1 2 3 4 0\n";
+  const Cnf cnf = parse_dimacs_string(text);
+  const Cnf again = parse_dimacs_string(to_dimacs(cnf));
+  EXPECT_EQ(cnf.num_vars, again.num_vars);
+  ASSERT_EQ(cnf.clauses.size(), again.clauses.size());
+  for (std::size_t i = 0; i < cnf.clauses.size(); ++i) {
+    EXPECT_EQ(cnf.clauses[i], again.clauses[i]);
+  }
+}
+
+TEST(Dimacs, GrowsVarCountWhenLiteralsExceedHeader) {
+  const Cnf cnf = parse_dimacs_string("p cnf 1 1\n5 0\n");
+  EXPECT_EQ(cnf.num_vars, 5);
+}
+
+TEST(Dimacs, RejectsUnterminatedClause) {
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n1 2\n"), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsLiteralBeforeHeader) {
+  EXPECT_THROW(parse_dimacs_string("1 0\n"), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsGarbageToken) {
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\nfoo 0\n"),
+               std::runtime_error);
+}
+
+TEST(Dimacs, EvaluateMatchesSemantics) {
+  const Cnf cnf = parse_dimacs_string("p cnf 2 2\n1 2 0\n-1 -2 0\n");
+  EXPECT_FALSE(cnf.evaluate({false, false}));
+  EXPECT_TRUE(cnf.evaluate({true, false}));
+  EXPECT_TRUE(cnf.evaluate({false, true}));
+  EXPECT_FALSE(cnf.evaluate({true, true}));
+}
+
+TEST(Dimacs, LoadIntoSolverSolves) {
+  const Cnf cnf = parse_dimacs_string("p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n");
+  Solver solver;
+  ASSERT_TRUE(load_into_solver(cnf, solver));
+  ASSERT_EQ(solver.solve(), SolveResult::kSat);
+  EXPECT_EQ(solver.model_value(Lit::make(2)), l_True);
+}
+
+TEST(Dimacs, EmptyClauseMakesSolverUnsat) {
+  Cnf cnf;
+  cnf.num_vars = 1;
+  cnf.clauses.push_back({});
+  Solver solver;
+  EXPECT_FALSE(load_into_solver(cnf, solver));
+  EXPECT_EQ(solver.solve(), SolveResult::kUnsat);
+}
+
+}  // namespace
+}  // namespace pilot::sat

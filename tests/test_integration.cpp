@@ -1,0 +1,123 @@
+/// Cross-engine integration tests: all engines must agree with the
+/// construction-guaranteed verdicts and with each other; the run-matrix
+/// harness must produce coherent records; AIGER round trips must preserve
+/// verdicts end to end.
+#include <gtest/gtest.h>
+
+#include "aig/aiger_io.hpp"
+#include "check/runner.hpp"
+#include "circuits/suite.hpp"
+
+namespace pilot::check {
+namespace {
+
+TEST(Integration, TinySuiteAllEnginesAgreeWithConstruction) {
+  // The strict soundness gate inside run_matrix aborts on any mismatch,
+  // so reaching the end of this test is itself the assertion; we still
+  // verify solve counts.
+  const auto cases = circuits::make_suite(circuits::SuiteSize::kTiny);
+  RunMatrixOptions options;
+  options.budget_ms = 5000;
+  options.strict = true;
+  const auto records = run_matrix(cases, paper_configurations(), options);
+  EXPECT_EQ(records.size(), cases.size() * paper_configurations().size());
+  std::size_t solved = 0;
+  for (const auto& r : records) {
+    if (r.solved) ++solved;
+  }
+  // The tiny suite is sized to be fully solvable in the budget.
+  EXPECT_GT(solved, records.size() * 9 / 10);
+}
+
+TEST(Integration, BmcAgreesWithIc3OnUnsafeCases) {
+  const auto cases = circuits::make_suite(circuits::SuiteSize::kTiny);
+  RunMatrixOptions options;
+  options.budget_ms = 5000;
+  const std::vector<EngineKind> engines{EngineKind::kIc3CtgPl,
+                                        EngineKind::kBmc};
+  const auto records = run_matrix(cases, engines, options);
+  // Pair up per case: when both solved an unsafe case, they agree by the
+  // strict gate; here we additionally require BMC to have solved most
+  // unsafe cases (they are shallow enough for the tiny suite).
+  int bmc_unsafe = 0;
+  for (const auto& r : records) {
+    if (r.engine == EngineKind::kBmc && r.solved) {
+      EXPECT_EQ(r.verdict, ic3::Verdict::kUnsafe);
+      ++bmc_unsafe;
+    }
+  }
+  EXPECT_GT(bmc_unsafe, 0);
+}
+
+TEST(Integration, KinductionProofsAreConsistent) {
+  const auto cases = circuits::make_suite(circuits::SuiteSize::kTiny);
+  RunMatrixOptions options;
+  options.budget_ms = 3000;
+  const std::vector<EngineKind> engines{EngineKind::kKinduction};
+  const auto records = run_matrix(cases, engines, options);
+  int proved = 0;
+  for (const auto& r : records) {
+    if (r.solved && r.verdict == ic3::Verdict::kSafe) ++proved;
+  }
+  // k-induction proves at least the plainly inductive families.
+  EXPECT_GT(proved, 3);
+}
+
+TEST(Integration, VerdictSurvivesAigerRoundTrip) {
+  // Write every tiny-suite circuit to AIGER (binary), read it back, and
+  // re-check: the verdict must be identical.
+  const auto cases = circuits::make_suite(circuits::SuiteSize::kTiny);
+  int checked = 0;
+  for (const auto& cc : cases) {
+    if (checked >= 8) break;  // keep the test fast; families rotate below
+    const aig::Aig back = aig::read_aiger_string(aig::to_aiger_binary(cc.aig));
+    CheckOptions co;
+    co.engine = EngineKind::kIc3CtgPl;
+    co.budget_ms = 5000;
+    const CheckResult direct = check_aig(cc.aig, co);
+    const CheckResult roundtrip = check_aig(back, co);
+    ASSERT_NE(direct.verdict, ic3::Verdict::kUnknown) << cc.name;
+    EXPECT_EQ(direct.verdict, roundtrip.verdict) << cc.name;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 8);
+}
+
+TEST(Integration, RunMatrixRecordsCarryStats) {
+  const std::vector<circuits::CircuitCase> cases{
+      circuits::counter_wrap_safe(5, 16, 30)};
+  RunMatrixOptions options;
+  options.budget_ms = 5000;
+  const std::vector<EngineKind> engines{EngineKind::kIc3DownPl};
+  const auto records = run_matrix(cases, engines, options);
+  ASSERT_EQ(records.size(), 1u);
+  const RunRecord& r = records[0];
+  EXPECT_EQ(r.case_name, "counter_wrap_safe_5_16_30");
+  EXPECT_EQ(r.family, "counter");
+  EXPECT_TRUE(r.solved);
+  EXPECT_TRUE(r.expected_safe);
+  EXPECT_GT(r.stats.num_generalizations, 0u);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Integration, ParallelAndSerialRunsAgreeOnVerdicts) {
+  const auto cases = circuits::make_suite(circuits::SuiteSize::kTiny);
+  std::vector<circuits::CircuitCase> subset(cases.begin(),
+                                            cases.begin() + 6);
+  RunMatrixOptions serial;
+  serial.budget_ms = 5000;
+  serial.jobs = 1;
+  RunMatrixOptions parallel = serial;
+  parallel.jobs = 4;
+  const std::vector<EngineKind> engines{EngineKind::kIc3Ctg};
+  const auto a = run_matrix(subset, engines, serial);
+  const auto b = run_matrix(subset, engines, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].case_name, b[i].case_name);
+    EXPECT_EQ(a[i].verdict, b[i].verdict) << a[i].case_name;
+  }
+}
+
+}  // namespace
+}  // namespace pilot::check

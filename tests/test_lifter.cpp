@@ -1,0 +1,155 @@
+/// Lifter tests: both SAT-core and ternary-simulation lifting must produce
+/// cubes whose every completion still reaches the target — verified by an
+/// independent SAT query — and should genuinely shrink cubes with
+/// irrelevant latches.
+#include <gtest/gtest.h>
+
+#include "circuits/builder.hpp"
+#include "circuits/families.hpp"
+#include "ic3/lifter.hpp"
+#include "ic3/solver_manager.hpp"
+#include "ts/transition_system.hpp"
+
+namespace pilot::ic3 {
+namespace {
+
+/// A circuit where most latches are irrelevant to the property: an 8-bit
+/// free counter plus a 1-bit flag latch; bad = flag & (count == 3).
+struct LiftFixture {
+  explicit LiftFixture(Config::LiftMode mode) {
+    aig::Aig a;
+    const aig::AigLit set_flag = a.add_input("set");
+    const circuits::Word count = circuits::make_latches(a, 8, 0, "count");
+    const aig::AigLit flag = a.add_latch(aig::l_False, "flag");
+    circuits::connect(a, count, circuits::increment(a, count));
+    a.set_next(flag, a.make_or(flag, set_flag));
+    a.add_bad(a.make_and(flag, circuits::equals_const(a, count, 3)));
+    ts = std::make_unique<ts::TransitionSystem>(
+        ts::TransitionSystem::from_aig(a));
+    cfg.lift_mode = mode;
+    lifter = std::make_unique<Lifter>(*ts, cfg, stats);
+    solvers = std::make_unique<SolverManager>(*ts, cfg, stats);
+    solvers->ensure_level(1);
+  }
+
+  /// Full state cube: count value + flag bit.
+  Cube full_state(std::uint64_t count_value, bool flag_value) {
+    std::vector<Lit> lits;
+    for (std::size_t i = 0; i < 8; ++i) {
+      lits.push_back(Lit::make(ts->state_var(i),
+                               ((count_value >> i) & 1ULL) == 0));
+    }
+    lits.push_back(Lit::make(ts->state_var(8), !flag_value));
+    return Cube::from_lits(std::move(lits));
+  }
+
+  /// Independent validation: every state in `cube` with `inputs` must step
+  /// into `successor`:  UNSAT(cube ∧ inputs ∧ T ∧ ¬successor′).
+  bool lift_is_valid(const Cube& cube, const std::vector<Lit>& inputs,
+                     const Cube& successor) {
+    sat::Solver s;
+    ts->install(s);
+    const Lit act = Lit::make(s.new_var());
+    std::vector<Lit> clause{~act};
+    for (const Lit l : successor) clause.push_back(~ts->prime(l));
+    s.add_clause(clause);
+    std::vector<Lit> assumptions{act};
+    for (const Lit l : inputs) assumptions.push_back(l);
+    for (const Lit l : cube) assumptions.push_back(l);
+    return s.solve(assumptions) == sat::SolveResult::kUnsat;
+  }
+
+  std::unique_ptr<ts::TransitionSystem> ts;
+  Config cfg;
+  Ic3Stats stats;
+  std::unique_ptr<Lifter> lifter;
+  std::unique_ptr<SolverManager> solvers;
+};
+
+class LifterModes : public ::testing::TestWithParam<Config::LiftMode> {};
+
+TEST_P(LifterModes, PredecessorLiftIsSoundAndShrinks) {
+  LiftFixture f(GetParam());
+  // Predecessor (count=2, flag=1) with no set input steps to
+  // (count=3, flag=1); the successor cube is just {flag, count==3}'s
+  // pre-image target: pick successor = full state (3, true).
+  const Cube pred = f.full_state(2, true);
+  const Cube succ = f.full_state(3, true);
+  const std::vector<Lit> inputs{Lit::make(f.ts->input_var(0), true)};
+  const Cube lifted = f.lifter->lift_predecessor(pred, inputs, succ, {});
+  EXPECT_TRUE(lifted.subset_of(pred));
+  EXPECT_TRUE(f.lift_is_valid(lifted, inputs, succ)) << lifted.to_string();
+  if (GetParam() == Config::LiftMode::kNone) {
+    EXPECT_EQ(lifted, pred);
+  }
+}
+
+TEST_P(LifterModes, BadLiftDropsIrrelevantLatches) {
+  LiftFixture f(GetParam());
+  // State (count=3, flag=1) raises bad regardless of the input.
+  const Cube state = f.full_state(3, true);
+  const std::vector<Lit> inputs{Lit::make(f.ts->input_var(0), true)};
+  const Cube lifted = f.lifter->lift_bad(state, inputs, {});
+  EXPECT_TRUE(lifted.subset_of(state));
+  if (GetParam() != Config::LiftMode::kNone) {
+    // All 9 latches matter here (count==3 needs all count bits + flag)...
+    // so instead check on a state where bad is *not* raised via count:
+    // nothing shrinks below what keeps bad provable.
+    EXPECT_EQ(lifted.size(), 9u);
+  }
+}
+
+TEST_P(LifterModes, SuccessorTargetWithFewLiterals) {
+  LiftFixture f(GetParam());
+  // Successor target: {flag=1} only.  From (count=7, flag=1), any input
+  // keeps flag=1 — the count bits are irrelevant and should be dropped by
+  // both lifting strategies.
+  const Cube pred = f.full_state(7, true);
+  const Cube succ = Cube::from_lits({Lit::make(f.ts->state_var(8))});
+  const std::vector<Lit> inputs{Lit::make(f.ts->input_var(0), true)};
+  const Cube lifted = f.lifter->lift_predecessor(pred, inputs, succ, {});
+  EXPECT_TRUE(f.lift_is_valid(lifted, inputs, succ));
+  if (GetParam() != Config::LiftMode::kNone) {
+    EXPECT_LE(lifted.size(), 1u) << lifted.to_string();
+    EXPECT_TRUE(lifted.contains(Lit::make(f.ts->state_var(8))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, LifterModes,
+                         ::testing::Values(Config::LiftMode::kSat,
+                                           Config::LiftMode::kTernary,
+                                           Config::LiftMode::kNone),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Config::LiftMode::kSat: return "sat";
+                             case Config::LiftMode::kTernary:
+                               return "ternary";
+                             default: return "none";
+                           }
+                         });
+
+TEST(Lifter, TernaryRespectsConstraints) {
+  // Constrained shift register: the input is forced low; lifting a
+  // predecessor must keep enough literals that the constraint evaluation
+  // stays definite-true.
+  const auto cc = circuits::shift_register(4, true);
+  const ts::TransitionSystem ts = ts::TransitionSystem::from_aig(cc.aig);
+  Config cfg;
+  cfg.lift_mode = Config::LiftMode::kTernary;
+  Ic3Stats stats;
+  Lifter lifter(ts, cfg, stats);
+  // Predecessor: all stages 0; successor: all stages 0; input 0.
+  std::vector<Lit> state_lits;
+  for (std::size_t i = 0; i < ts.num_latches(); ++i) {
+    state_lits.push_back(Lit::make(ts.state_var(i), true));
+  }
+  const Cube pred = Cube::from_lits(state_lits);
+  const Cube succ = pred;
+  const std::vector<Lit> inputs{Lit::make(ts.input_var(0), true)};
+  const Cube lifted = lifter.lift_predecessor(pred, inputs, succ, {});
+  EXPECT_TRUE(lifted.subset_of(pred));
+  EXPECT_FALSE(lifted.empty());
+}
+
+}  // namespace
+}  // namespace pilot::ic3

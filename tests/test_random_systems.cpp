@@ -1,0 +1,106 @@
+/// Randomized end-to-end soundness fuzzing: small random transition
+/// systems (including uninitialized latches) are checked by IC3 in several
+/// configurations; verdicts are cross-validated against BMC and every
+/// certificate is independently re-verified.  This is the strongest
+/// correctness gate in the suite because the circuits are adversarially
+/// shapeless rather than hand-structured.
+#include <gtest/gtest.h>
+
+#include "bmc/bmc.hpp"
+#include "circuits/builder.hpp"
+#include "ic3/engine.hpp"
+#include "ts/transition_system.hpp"
+#include "util/rng.hpp"
+
+namespace pilot {
+namespace {
+
+/// Random AIG transition system: a few latches and inputs, a random DAG of
+/// AND gates, random next-state functions and a random bad cone.
+aig::Aig random_system(Rng& rng, int num_latches, int num_inputs,
+                       int num_gates) {
+  aig::Aig a;
+  std::vector<aig::AigLit> pool;
+  pool.push_back(aig::AigLit::constant(false));
+  for (int i = 0; i < num_inputs; ++i) pool.push_back(a.add_input());
+  std::vector<aig::AigLit> latches;
+  for (int i = 0; i < num_latches; ++i) {
+    // 10% uninitialized latches to exercise the X-reset paths.
+    const aig::LBool init = rng.chance(0.1)
+                                ? aig::l_Undef
+                                : aig::LBool(rng.chance(0.5));
+    const aig::AigLit l = a.add_latch(init);
+    latches.push_back(l);
+    pool.push_back(l);
+  }
+  auto pick = [&]() {
+    const aig::AigLit l = pool[rng.below(pool.size())];
+    return l ^ rng.chance(0.5);
+  };
+  for (int i = 0; i < num_gates; ++i) {
+    pool.push_back(a.make_and(pick(), pick()));
+  }
+  for (const aig::AigLit l : latches) a.set_next(l, pick());
+  a.add_bad(pick());
+  return a;
+}
+
+class RandomSystems : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSystems, Ic3AgreesWithBmcAndCertificatesHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6007 + 101);
+  for (int round = 0; round < 25; ++round) {
+    const int latches = 2 + static_cast<int>(rng.below(4));
+    const int inputs = static_cast<int>(rng.below(3));
+    const int gates = 3 + static_cast<int>(rng.below(12));
+    const aig::Aig model = random_system(rng, latches, inputs, gates);
+    const ts::TransitionSystem ts = ts::TransitionSystem::from_aig(model);
+
+    // IC3 (alternate baseline/prediction by round for coverage).
+    ic3::Config cfg;
+    cfg.predict_lemmas = (round % 2) == 0;
+    cfg.gen_mode = (round % 3) == 0 ? ic3::GenMode::kCtg
+                                    : ic3::GenMode::kDown;
+    ic3::Engine engine(ts, cfg);
+    const ic3::Result r = engine.check(Deadline::in_seconds(10));
+    ASSERT_NE(r.verdict, ic3::Verdict::kUnknown)
+        << "random system too hard?? seed=" << GetParam()
+        << " round=" << round;
+
+    // Certificates must check out.
+    if (r.verdict == ic3::Verdict::kSafe) {
+      const ic3::CheckOutcome c = ic3::check_invariant(ts, *r.invariant);
+      EXPECT_TRUE(c.ok) << c.reason;
+    } else {
+      const ic3::CheckOutcome c = ic3::check_trace(ts, *r.trace);
+      EXPECT_TRUE(c.ok) << c.reason;
+    }
+
+    // BMC cross-check.  State space ≤ 2^6, so diameter < 64: a bound of
+    // 80 is exhaustive for UNSAFE detection in these systems only if the
+    // system is deterministic from a single initial state — with inputs
+    // and X-latches it underapproximates, so:
+    //  * IC3 SAFE  → BMC must find nothing (at any bound).
+    //  * BMC UNSAFE → IC3 must have said UNSAFE.
+    bmc::BmcOptions bo;
+    bo.max_bound = 80;
+    const bmc::BmcResult b = bmc::run_bmc(ts, bo, Deadline::in_seconds(10));
+    if (b.verdict == bmc::BmcVerdict::kUnsafe) {
+      EXPECT_EQ(r.verdict, ic3::Verdict::kUnsafe);
+      EXPECT_LE(b.counterexample_length, 64);
+    }
+    if (r.verdict == ic3::Verdict::kSafe) {
+      EXPECT_NE(b.verdict, bmc::BmcVerdict::kUnsafe);
+    }
+    // Completeness of the cross-check: for UNSAFE verdicts the bound 80
+    // exceeds the diameter, so BMC must also find a counterexample.
+    if (r.verdict == ic3::Verdict::kUnsafe) {
+      EXPECT_EQ(b.verdict, bmc::BmcVerdict::kUnsafe);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystems, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace pilot

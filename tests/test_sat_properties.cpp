@@ -1,0 +1,148 @@
+/// Property-based tests for the SAT solver: randomized CNFs are checked
+/// against a brute-force evaluator, models are verified by evaluation, and
+/// unsat cores are re-checked to be genuinely unsatisfiable.
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace pilot::sat {
+namespace {
+
+/// Random k-CNF generator with adjustable density.
+Cnf random_cnf(Rng& rng, int num_vars, int num_clauses, int max_len) {
+  Cnf cnf;
+  cnf.num_vars = num_vars;
+  for (int c = 0; c < num_clauses; ++c) {
+    const int len = 1 + static_cast<int>(rng.below(max_len));
+    std::vector<Lit> clause;
+    for (int i = 0; i < len; ++i) {
+      const auto v = static_cast<Var>(rng.below(num_vars));
+      clause.push_back(Lit::make(v, rng.chance(0.5)));
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+/// Exhaustive satisfiability for small variable counts.
+bool brute_force_sat(const Cnf& cnf) {
+  const int n = cnf.num_vars;
+  for (std::uint64_t bits = 0; bits < (1ULL << n); ++bits) {
+    std::vector<bool> assignment(n);
+    for (int v = 0; v < n; ++v) assignment[v] = ((bits >> v) & 1ULL) != 0;
+    if (cnf.evaluate(assignment)) return true;
+  }
+  return false;
+}
+
+class SatRandomCnf : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatRandomCnf, AgreesWithBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  for (int round = 0; round < 40; ++round) {
+    const int vars = 3 + static_cast<int>(rng.below(8));     // 3..10
+    const int clauses = 2 + static_cast<int>(rng.below(40)); // 2..41
+    const Cnf cnf = random_cnf(rng, vars, clauses, 3);
+
+    Solver solver;
+    const bool load_ok = load_into_solver(cnf, solver);
+    const SolveResult result = solver.solve();
+    const bool expected = brute_force_sat(cnf);
+
+    if (!load_ok) {
+      // Top-level conflict during loading: must be genuinely unsat.
+      EXPECT_FALSE(expected) << to_dimacs(cnf);
+      continue;
+    }
+    ASSERT_NE(result, SolveResult::kUnknown);
+    EXPECT_EQ(result == SolveResult::kSat, expected) << to_dimacs(cnf);
+
+    if (result == SolveResult::kSat) {
+      // The model must actually satisfy the formula.
+      std::vector<bool> assignment(cnf.num_vars);
+      for (int v = 0; v < cnf.num_vars; ++v) {
+        assignment[v] = solver.model_value(Lit::make(v)) == l_True;
+      }
+      EXPECT_TRUE(cnf.evaluate(assignment)) << to_dimacs(cnf);
+    }
+  }
+}
+
+TEST_P(SatRandomCnf, AssumptionCoreIsGenuine) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 5);
+  for (int round = 0; round < 25; ++round) {
+    const int vars = 4 + static_cast<int>(rng.below(6));
+    const Cnf cnf = random_cnf(rng, vars, 3 * vars, 3);
+    Solver solver;
+    if (!load_into_solver(cnf, solver)) continue;
+
+    // Assume a random subset of literals.
+    std::vector<Lit> assumptions;
+    for (int v = 0; v < vars; ++v) {
+      if (rng.chance(0.6)) assumptions.push_back(Lit::make(v, rng.chance(0.5)));
+    }
+    const SolveResult result = solver.solve(assumptions);
+    ASSERT_NE(result, SolveResult::kUnknown);
+    if (result != SolveResult::kUnsat) continue;
+
+    const std::vector<Lit> core = solver.core();
+    // 1. Core ⊆ assumptions.
+    for (const Lit l : core) {
+      EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), l),
+                assumptions.end());
+    }
+    // 2. Core is itself sufficient for unsatisfiability.
+    Solver fresh;
+    ASSERT_TRUE(load_into_solver(cnf, fresh));
+    EXPECT_EQ(fresh.solve(core), SolveResult::kUnsat) << to_dimacs(cnf);
+  }
+}
+
+TEST_P(SatRandomCnf, IncrementalMatchesFromScratch) {
+  // Solving after adding clauses in two batches must agree with a fresh
+  // solver given everything at once.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 2);
+  for (int round = 0; round < 20; ++round) {
+    const int vars = 4 + static_cast<int>(rng.below(5));
+    const Cnf first = random_cnf(rng, vars, vars, 3);
+    const Cnf second = random_cnf(rng, vars, vars, 3);
+
+    Solver incremental;
+    const bool ok1 = load_into_solver(first, incremental);
+    if (ok1) incremental.solve();  // interleaved solve
+    bool ok2 = true;
+    for (const auto& clause : second.clauses) {
+      ok2 = incremental.add_clause(clause) && ok2;
+    }
+
+    Cnf combined = first;
+    combined.clauses.insert(combined.clauses.end(), second.clauses.begin(),
+                            second.clauses.end());
+    const bool expected = brute_force_sat(combined);
+    if (!ok1 || !ok2 || !incremental.okay()) {
+      EXPECT_FALSE(expected);
+      continue;
+    }
+    EXPECT_EQ(incremental.solve() == SolveResult::kSat, expected)
+        << to_dimacs(combined);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomCnf, ::testing::Range(0, 8));
+
+TEST(SatDeterminism, SameSeedSameStats) {
+  auto run = [] {
+    Rng rng(99);
+    const Cnf cnf = random_cnf(rng, 12, 50, 3);
+    Solver s;
+    load_into_solver(cnf, s);
+    s.solve();
+    return s.stats().conflicts;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace pilot::sat

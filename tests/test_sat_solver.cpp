@@ -1,0 +1,258 @@
+/// Unit tests for the CDCL SAT solver: construction, solving, assumptions,
+/// cores, incrementality, and budget handling.
+#include <gtest/gtest.h>
+
+#include "sat/solver.hpp"
+
+namespace pilot::sat {
+namespace {
+
+Lit pos(Var v) { return Lit::make(v); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolver, SingleUnitClause) {
+  Solver s;
+  const Var x = s.new_var();
+  ASSERT_TRUE(s.add_unit(pos(x)));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(pos(x)), l_True);
+  EXPECT_EQ(s.model_value(neg(x)), l_False);
+}
+
+TEST(SatSolver, ContradictoryUnitsAreUnsat) {
+  Solver s;
+  const Var x = s.new_var();
+  EXPECT_TRUE(s.add_unit(pos(x)));
+  EXPECT_FALSE(s.add_unit(neg(x)));
+  EXPECT_FALSE(s.okay());
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolver, SimpleBinaryImplicationChain) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  // a → b → c, a asserted.
+  s.add_binary(neg(a), pos(b));
+  s.add_binary(neg(b), pos(c));
+  s.add_unit(pos(a));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(pos(c)), l_True);
+}
+
+TEST(SatSolver, PigeonholeTwoIntoOneIsUnsat) {
+  // Two pigeons, one hole: p1h1, p2h1, ¬p1h1 ∨ ¬p2h1 — with both pigeons
+  // required to be placed.
+  Solver s;
+  const Var p1 = s.new_var();
+  const Var p2 = s.new_var();
+  s.add_unit(pos(p1));
+  s.add_unit(pos(p2));
+  s.add_binary(neg(p1), neg(p2));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolver, XorChainSatisfiable) {
+  // x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x0 ⊕ x2 = 0: consistent.
+  Solver s;
+  const Var x0 = s.new_var();
+  const Var x1 = s.new_var();
+  const Var x2 = s.new_var();
+  auto add_xor = [&](Var a, Var b, bool value) {
+    // a ⊕ b = value, as two clauses per polarity.
+    if (value) {
+      s.add_binary(pos(a), pos(b));
+      s.add_binary(neg(a), neg(b));
+    } else {
+      s.add_binary(pos(a), neg(b));
+      s.add_binary(neg(a), pos(b));
+    }
+  };
+  add_xor(x0, x1, true);
+  add_xor(x1, x2, true);
+  add_xor(x0, x2, false);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  const bool v0 = s.model_value(pos(x0)) == l_True;
+  const bool v1 = s.model_value(pos(x1)) == l_True;
+  const bool v2 = s.model_value(pos(x2)) == l_True;
+  EXPECT_NE(v0, v1);
+  EXPECT_NE(v1, v2);
+  EXPECT_EQ(v0, v2);
+}
+
+TEST(SatSolver, XorChainUnsatisfiable) {
+  // Odd cycle of XOR=1 constraints over 3 variables is unsatisfiable
+  // together with x0 ⊕ x2 = 1.
+  Solver s;
+  const Var x0 = s.new_var();
+  const Var x1 = s.new_var();
+  const Var x2 = s.new_var();
+  auto add_xor1 = [&](Var a, Var b) {
+    s.add_binary(pos(a), pos(b));
+    s.add_binary(neg(a), neg(b));
+  };
+  add_xor1(x0, x1);
+  add_xor1(x1, x2);
+  add_xor1(x0, x2);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolver, AssumptionsSatAndUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(neg(a), pos(b));  // a → b
+  const std::vector<Lit> assume_a{pos(a)};
+  ASSERT_EQ(s.solve(assume_a), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(pos(b)), l_True);
+
+  const std::vector<Lit> conflicting{pos(a), neg(b)};
+  EXPECT_EQ(s.solve(conflicting), SolveResult::kUnsat);
+  // Solver must remain usable after an assumption conflict.
+  EXPECT_EQ(s.solve(assume_a), SolveResult::kSat);
+}
+
+TEST(SatSolver, CoreIsSubsetOfAssumptions) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  const Var d = s.new_var();
+  s.add_binary(neg(a), neg(b));  // ¬(a ∧ b)
+  const std::vector<Lit> assumptions{pos(a), pos(b), pos(c), pos(d)};
+  ASSERT_EQ(s.solve(assumptions), SolveResult::kUnsat);
+  const auto& core = s.core();
+  EXPECT_FALSE(core.empty());
+  for (const Lit l : core) {
+    EXPECT_TRUE(std::find(assumptions.begin(), assumptions.end(), l) !=
+                assumptions.end());
+  }
+  // c and d are irrelevant to the conflict.
+  for (const Lit l : core) {
+    EXPECT_TRUE(l == pos(a) || l == pos(b));
+  }
+}
+
+TEST(SatSolver, CoreEmptyWhenFormulaItselfUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_unit(pos(a));
+  const Var b = s.new_var();
+  EXPECT_TRUE(s.add_unit(pos(b)));
+  EXPECT_FALSE(s.add_unit(neg(b)));
+  const std::vector<Lit> assumptions{neg(a)};
+  EXPECT_EQ(s.solve(assumptions), SolveResult::kUnsat);
+  EXPECT_TRUE(s.core().empty());
+}
+
+TEST(SatSolver, IncrementalClauseAddition) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  s.add_binary(pos(a), pos(b));
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  s.add_unit(neg(a));
+  s.add_unit(neg(b));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolver, PhaseHintsRespectedOnFreeVariables) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(pos(a), pos(b));  // at least one true
+  s.set_phase(a, false);         // prefer a = true
+  s.set_phase(b, true);          // prefer b = false
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(pos(a)), l_True);
+  EXPECT_EQ(s.model_value(pos(b)), l_False);
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+  // A hard pigeonhole instance (5 pigeons, 4 holes) with a 1-conflict
+  // budget must give up.
+  Solver s;
+  constexpr int kPigeons = 5;
+  constexpr int kHoles = 4;
+  std::vector<std::vector<Var>> at(kPigeons);
+  for (int p = 0; p < kPigeons; ++p) {
+    for (int h = 0; h < kHoles; ++h) at[p].push_back(s.new_var());
+  }
+  for (int p = 0; p < kPigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < kHoles; ++h) clause.push_back(pos(at[p][h]));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < kHoles; ++h) {
+    for (int p1 = 0; p1 < kPigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < kPigeons; ++p2) {
+        s.add_binary(neg(at[p1][h]), neg(at[p2][h]));
+      }
+    }
+  }
+  s.set_conflict_budget(1);
+  EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+  s.set_conflict_budget(0);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolver, ExpiredDeadlineReturnsUnknownQuickly) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_unit(pos(a));
+  const Deadline expired = Deadline::in_milliseconds(0);
+  // Give the deadline a moment to be definitely in the past.
+  while (!expired.expired()) {
+  }
+  EXPECT_EQ(s.solve({}, expired), SolveResult::kUnknown);
+}
+
+TEST(SatSolver, ManyVariablesAndClausesStressReduceDb) {
+  // A satisfiable random-ish 3-CNF shaped instance large enough to trigger
+  // clause DB reductions and garbage collection paths.
+  Solver s;
+  constexpr int kVars = 300;
+  std::vector<Var> vars;
+  for (int i = 0; i < kVars; ++i) vars.push_back(s.new_var());
+  // Chain implications with redundancy.
+  for (int i = 0; i + 2 < kVars; ++i) {
+    s.add_ternary(neg(vars[i]), pos(vars[i + 1]), pos(vars[i + 2]));
+    s.add_ternary(neg(vars[i]), neg(vars[i + 1]), pos(vars[i + 2]));
+  }
+  s.add_unit(pos(vars[0]));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.okay());
+}
+
+TEST(SatSolver, TautologyAndDuplicateLiteralsHandled) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(a), neg(a)}));          // tautology: dropped
+  EXPECT_TRUE(s.add_clause({pos(b), pos(b), pos(b)}));  // collapses to unit
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(pos(b)), l_True);
+}
+
+TEST(SatSolver, SimplifyKeepsEquivalence) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  s.add_ternary(pos(a), pos(b), pos(c));
+  s.add_unit(pos(a));  // satisfies the ternary at top level
+  s.simplify();
+  EXPECT_TRUE(s.okay());
+  const std::vector<Lit> assumptions{neg(b), neg(c)};
+  EXPECT_EQ(s.solve(assumptions), SolveResult::kSat);
+}
+
+}  // namespace
+}  // namespace pilot::sat

@@ -1,0 +1,122 @@
+/// Simulator tests: bit-parallel semantics against hand-computed circuit
+/// behaviour, reset handling, and ternary X-propagation.
+#include <gtest/gtest.h>
+
+#include "aig/simulation.hpp"
+#include "circuits/builder.hpp"
+#include "circuits/families.hpp"
+
+namespace pilot::aig {
+namespace {
+
+TEST(BitSimulator, CombinationalGate) {
+  Aig a;
+  const AigLit x = a.add_input();
+  const AigLit y = a.add_input();
+  const AigLit g = a.make_and(x, !y);
+  BitSimulator sim(a);
+  sim.compute(std::vector<std::uint64_t>{0b1100, 0b1010});
+  EXPECT_EQ(sim.value(g) & 0xFULL, 0b0100ULL);
+  EXPECT_EQ(sim.value(!g) & 0xFULL, 0b1011ULL);
+}
+
+TEST(BitSimulator, CounterCountsToTarget) {
+  const circuits::CircuitCase cc = circuits::counter_unsafe(6, 37);
+  BitSimulator sim(cc.aig);
+  sim.reset();
+  ASSERT_EQ(cc.aig.bads().size(), 1u);
+  const AigLit bad = cc.aig.bads()[0];
+  for (int step = 0; step < 37; ++step) {
+    sim.compute({});
+    EXPECT_EQ(sim.value(bad) & 1ULL, 0ULL) << "bad too early at " << step;
+    sim.latch_step();
+  }
+  sim.compute({});
+  EXPECT_EQ(sim.value(bad) & 1ULL, 1ULL) << "bad not raised at step 37";
+}
+
+TEST(BitSimulator, ResetValuesRespectInit) {
+  Aig a;
+  const AigLit l0 = a.add_latch(l_False);
+  const AigLit l1 = a.add_latch(l_True);
+  const AigLit lx = a.add_latch(l_Undef);
+  a.set_next(l0, l0);
+  a.set_next(l1, l1);
+  a.set_next(lx, lx);
+  BitSimulator sim(a);
+  sim.reset(/*undef_fill=*/0xDEADBEEFULL);
+  EXPECT_EQ(sim.latch_value(l0.node()), 0ULL);
+  EXPECT_EQ(sim.latch_value(l1.node()), ~0ULL);
+  EXPECT_EQ(sim.latch_value(lx.node()), 0xDEADBEEFULL);
+}
+
+TEST(BitSimulator, LatchToLatchFeedthroughUsesPreStepValues) {
+  // Swap circuit: a <- b, b <- a; must exchange, not chain.
+  Aig a;
+  const AigLit la = a.add_latch(l_True);
+  const AigLit lb = a.add_latch(l_False);
+  a.set_next(la, lb);
+  a.set_next(lb, la);
+  BitSimulator sim(a);
+  sim.reset();
+  sim.compute({});
+  sim.latch_step();
+  EXPECT_EQ(sim.latch_value(la.node()), 0ULL);
+  EXPECT_EQ(sim.latch_value(lb.node()), ~0ULL);
+  sim.compute({});
+  sim.latch_step();
+  EXPECT_EQ(sim.latch_value(la.node()), ~0ULL);
+  EXPECT_EQ(sim.latch_value(lb.node()), 0ULL);
+}
+
+TEST(BitSimulator, SixtyFourParallelPatterns) {
+  // One input bit drives one latch; all 64 lanes evolve independently.
+  Aig a;
+  const AigLit in = a.add_input();
+  const AigLit l = a.add_latch(l_False);
+  a.set_next(l, a.make_xor(l, in));
+  BitSimulator sim(a);
+  sim.reset();
+  const std::uint64_t pattern = 0xAAAAAAAAAAAAAAAAULL;
+  sim.compute(std::vector<std::uint64_t>{pattern});
+  sim.latch_step();
+  EXPECT_EQ(sim.latch_value(l.node()), pattern);
+  sim.compute(std::vector<std::uint64_t>{~0ULL});
+  sim.latch_step();
+  EXPECT_EQ(sim.latch_value(l.node()), ~pattern);
+}
+
+TEST(TernarySimulator, TruthTables) {
+  EXPECT_EQ(tv_and(TV::kOne, TV::kOne), TV::kOne);
+  EXPECT_EQ(tv_and(TV::kZero, TV::kX), TV::kZero);   // 0 dominates X
+  EXPECT_EQ(tv_and(TV::kOne, TV::kX), TV::kX);
+  EXPECT_EQ(tv_and(TV::kX, TV::kX), TV::kX);
+  EXPECT_EQ(tv_not(TV::kX), TV::kX);
+  EXPECT_EQ(tv_not(TV::kZero), TV::kOne);
+}
+
+TEST(TernarySimulator, XPropagationStopsAtControllingZero) {
+  Aig a;
+  const AigLit x = a.add_input();
+  const AigLit y = a.add_input();
+  const AigLit g = a.make_and(x, y);
+  TernarySimulator sim(a);
+  // y = 0 forces g = 0 regardless of x.
+  sim.compute({}, std::vector<TV>{TV::kX, TV::kZero});
+  EXPECT_EQ(sim.value(g), TV::kZero);
+  // y = 1 leaves g = X.
+  sim.compute({}, std::vector<TV>{TV::kX, TV::kOne});
+  EXPECT_EQ(sim.value(g), TV::kX);
+}
+
+TEST(TernarySimulator, DefiniteInputsGiveDefiniteOutputs) {
+  const circuits::CircuitCase cc = circuits::gray_counter_safe(4);
+  TernarySimulator sim(cc.aig);
+  std::vector<TV> latches(cc.aig.num_latches(), TV::kZero);
+  std::vector<TV> inputs(cc.aig.num_inputs(), TV::kZero);
+  sim.compute(latches, inputs);
+  EXPECT_NE(sim.value(cc.aig.bads()[0]), TV::kX);
+}
+
+}  // namespace
+}  // namespace pilot::aig

@@ -1,0 +1,185 @@
+/// TransitionSystem tests: the CNF encoding must agree with the AIG
+/// simulator on randomized vectors, the priming map must be a bijection
+/// between X and X' variables, and the initial-cube predicates must be
+/// exact.
+#include <gtest/gtest.h>
+
+#include "aig/simulation.hpp"
+#include "circuits/builder.hpp"
+#include "circuits/families.hpp"
+#include "sat/solver.hpp"
+#include "ts/transition_system.hpp"
+#include "util/rng.hpp"
+
+namespace pilot::ts {
+namespace {
+
+/// Checks that fixing (X, Y) in the CNF forces exactly the simulator's
+/// next-state values on X' and the simulator's value on bad.
+void expect_encoding_matches_simulation(const TransitionSystem& ts,
+                                        std::uint64_t seed) {
+  const aig::Aig& circuit = ts.aig();
+  sat::Solver solver;
+  ts.install(solver);
+  aig::BitSimulator sim(circuit);
+  pilot::Rng rng(seed);
+
+  for (int round = 0; round < 16; ++round) {
+    // Random current state and inputs (1-bit lanes).
+    std::vector<sat::Lit> assumptions;
+    for (std::size_t i = 0; i < ts.num_latches(); ++i) {
+      const bool bit = rng.chance(0.5);
+      sim.set_latch(circuit.latches()[i], bit ? ~0ULL : 0ULL);
+      assumptions.push_back(sat::Lit::make(ts.state_var(i), !bit));
+    }
+    std::vector<std::uint64_t> input_bits(ts.num_inputs(), 0);
+    for (std::size_t i = 0; i < ts.num_inputs(); ++i) {
+      const bool bit = rng.chance(0.5);
+      input_bits[i] = bit ? ~0ULL : 0ULL;
+      assumptions.push_back(sat::Lit::make(ts.input_var(i), !bit));
+    }
+    sim.compute(input_bits);
+
+    // Skip vectors that violate an invariant constraint (the encoding
+    // rightly excludes them).
+    bool constraint_ok = true;
+    for (const aig::AigLit c : circuit.constraints()) {
+      if ((sim.value(c) & 1ULL) == 0) constraint_ok = false;
+    }
+    const sat::SolveResult res = solver.solve(assumptions);
+    if (!constraint_ok) {
+      EXPECT_EQ(res, sat::SolveResult::kUnsat);
+      continue;
+    }
+    ASSERT_EQ(res, sat::SolveResult::kSat);
+    // Deterministic transition: X' must equal the simulator's next state.
+    for (std::size_t i = 0; i < ts.num_latches(); ++i) {
+      const bool expected =
+          (sim.value(circuit.next(circuit.latches()[i])) & 1ULL) != 0;
+      const sat::LBool got =
+          solver.model_value(sat::Lit::make(ts.next_state_var(i)));
+      EXPECT_EQ(got == sat::l_True, expected) << "latch " << i;
+    }
+    const bool bad_expected =
+        (sim.value(aig::AigLit::make(
+             static_cast<std::uint32_t>(ts.bad().var()), ts.bad().sign())) &
+         1ULL) != 0;
+    EXPECT_EQ(solver.model_value(ts.bad()) == sat::l_True, bad_expected);
+  }
+}
+
+TEST(TransitionSystem, EncodingMatchesSimulationOnFamilies) {
+  expect_encoding_matches_simulation(
+      TransitionSystem::from_aig(circuits::gray_counter_safe(4).aig), 1);
+  expect_encoding_matches_simulation(
+      TransitionSystem::from_aig(circuits::fifo_unsafe(4, 9).aig), 2);
+  expect_encoding_matches_simulation(
+      TransitionSystem::from_aig(circuits::mutex_safe().aig), 3);
+}
+
+TEST(TransitionSystem, PrimeIsABijectionOnStateVars) {
+  const TransitionSystem ts =
+      TransitionSystem::from_aig(circuits::token_ring_safe(5).aig);
+  for (std::size_t i = 0; i < ts.num_latches(); ++i) {
+    const sat::Lit cur = sat::Lit::make(ts.state_var(i));
+    const sat::Lit primed = ts.prime(cur);
+    EXPECT_EQ(primed.var(), ts.next_state_var(i));
+    EXPECT_EQ(primed.sign(), cur.sign());
+    const sat::Lit neg_primed = ts.prime(~cur);
+    EXPECT_EQ(neg_primed, ~primed);
+  }
+}
+
+TEST(TransitionSystem, StateVarClassification) {
+  const TransitionSystem ts =
+      TransitionSystem::from_aig(circuits::fifo_safe(4, 9).aig);
+  for (std::size_t i = 0; i < ts.num_latches(); ++i) {
+    EXPECT_TRUE(ts.is_state_var(ts.state_var(i)));
+    EXPECT_EQ(ts.latch_index_of(ts.state_var(i)), static_cast<int>(i));
+  }
+  for (std::size_t i = 0; i < ts.num_inputs(); ++i) {
+    EXPECT_FALSE(ts.is_state_var(ts.input_var(i)));
+  }
+}
+
+TEST(TransitionSystem, InitCubePredicatesAreExact) {
+  // Latches: l0 init 0, l1 init 1, l2 uninitialized.
+  aig::Aig a;
+  const aig::AigLit l0 = a.add_latch(aig::l_False);
+  const aig::AigLit l1 = a.add_latch(aig::l_True);
+  const aig::AigLit l2 = a.add_latch(aig::l_Undef);
+  a.set_next(l0, l0);
+  a.set_next(l1, l1);
+  a.set_next(l2, l2);
+  a.add_bad(a.make_and(l0, l1));
+  // COI disabled: l2 is outside the property cone but the init predicates
+  // must still treat it correctly.
+  const TransitionSystem ts = TransitionSystem::from_aig(a, 0,
+                                                         /*use_coi=*/false);
+  ASSERT_EQ(ts.num_latches(), 3u);
+  EXPECT_EQ(ts.init_literals().size(), 2u);  // l2 unconstrained
+
+  const sat::Var v0 = ts.state_var(0);
+  const sat::Var v1 = ts.state_var(1);
+  const sat::Var v2 = ts.state_var(2);
+  // Cube {l0=0, l1=1} intersects I.
+  EXPECT_TRUE(ts.cube_intersects_init(std::vector<sat::Lit>{
+      sat::Lit::make(v0, true), sat::Lit::make(v1)}));
+  // Cube {l0=1} does not.
+  EXPECT_FALSE(ts.cube_intersects_init(
+      std::vector<sat::Lit>{sat::Lit::make(v0)}));
+  // Uninitialized latch never blocks intersection.
+  EXPECT_TRUE(ts.cube_intersects_init(
+      std::vector<sat::Lit>{sat::Lit::make(v2, true)}));
+  EXPECT_TRUE(ts.cube_intersects_init(
+      std::vector<sat::Lit>{sat::Lit::make(v2, false)}));
+}
+
+TEST(TransitionSystem, BadPrefersBadArrayOverOutputs) {
+  aig::Aig a;
+  const aig::AigLit x = a.add_latch(aig::l_False);
+  a.set_next(x, !x);
+  a.add_output(x);   // output says one thing
+  a.add_bad(!x);     // bad array says another
+  const TransitionSystem ts = TransitionSystem::from_aig(a, 0);
+  sat::Solver solver;
+  ts.install(solver);
+  // In the initial state x=0, bad (= ¬x) holds.
+  std::vector<sat::Lit> assumptions = ts.init_literals();
+  assumptions.push_back(ts.bad());
+  EXPECT_EQ(solver.solve(assumptions), sat::SolveResult::kSat);
+}
+
+TEST(TransitionSystem, OutputFallbackWhenNoBadArray) {
+  const circuits::CircuitCase cc = circuits::counter_unsafe(4, 5);
+  aig::Aig with_output = cc.aig;
+  // Rebuild: move bad to outputs.
+  aig::Aig a;
+  aig::LitMap map;
+  a = aig::extract_coi(with_output,
+                       std::vector<aig::AigLit>{with_output.bads()[0]}, &map);
+  a.add_output(aig::map_lit(with_output.bads()[0], map));
+  EXPECT_NO_THROW(TransitionSystem::from_aig(a, 0));
+}
+
+TEST(TransitionSystem, ThrowsOnMissingProperty) {
+  aig::Aig a;
+  const aig::AigLit l = a.add_latch();
+  a.set_next(l, l);
+  EXPECT_THROW(TransitionSystem::from_aig(a, 0), std::out_of_range);
+}
+
+TEST(TransitionSystem, ConstraintsBecomeUnitsInTheEncoding) {
+  const circuits::CircuitCase cc = circuits::shift_register(5, true);
+  const TransitionSystem ts = TransitionSystem::from_aig(cc.aig);
+  sat::Solver solver;
+  ts.install(solver);
+  // The constrained input (forced 0) cannot be assumed 1.
+  ASSERT_EQ(ts.num_inputs(), 1u);
+  const std::vector<sat::Lit> assumptions{
+      sat::Lit::make(ts.input_var(0))};
+  EXPECT_EQ(solver.solve(assumptions), sat::SolveResult::kUnsat);
+}
+
+}  // namespace
+}  // namespace pilot::ts
