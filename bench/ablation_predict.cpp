@@ -6,7 +6,7 @@
 ///   C. single-literal candidates (Eq. 6) vs up-to-two-literal extensions
 ///   D. core-shrinking validated predictions vs taking them verbatim
 /// Each variant runs the suite on top of the IC3ref-style (ctg) baseline.
-#include "bench_common.hpp"
+#include "bench/bench_common.hpp"
 
 using namespace pilot;
 using namespace pilot::bench;

@@ -8,7 +8,7 @@
 /// `-pl` curves running above/left of their baselines.
 #include <algorithm>
 
-#include "bench_common.hpp"
+#include "bench/bench_common.hpp"
 
 using namespace pilot;
 using namespace pilot::bench;

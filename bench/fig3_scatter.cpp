@@ -5,7 +5,7 @@
 ///
 /// Output: two blocks of (case, base-seconds, pl-seconds) rows plus the
 /// below/above-diagonal tallies the paper's visual makes.
-#include "bench_common.hpp"
+#include "bench/bench_common.hpp"
 
 using namespace pilot;
 using namespace pilot::bench;

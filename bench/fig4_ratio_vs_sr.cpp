@@ -9,7 +9,7 @@
 /// budget (floor = budget / 1000).
 #include <algorithm>
 
-#include "bench_common.hpp"
+#include "bench/bench_common.hpp"
 
 using namespace pilot;
 using namespace pilot::bench;

@@ -7,7 +7,7 @@
 /// expected *shape* is that each `-pl` configuration solves at least as
 /// many cases as its baseline, with the gains concentrated in safe cases
 /// (as in the paper: +9/+5 safe vs +1/+3 unsafe).
-#include "bench_common.hpp"
+#include "bench/bench_common.hpp"
 
 using namespace pilot;
 using namespace pilot::bench;

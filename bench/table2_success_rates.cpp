@@ -9,7 +9,7 @@
 /// IC3ref-pl 31.5 / 37.81 / 19.46 %.  Rates are averaged per case (cases
 /// with zero generalizations are skipped), matching the paper's
 /// "average success rates" phrasing.
-#include "bench_common.hpp"
+#include "bench/bench_common.hpp"
 
 using namespace pilot;
 using namespace pilot::bench;

@@ -169,8 +169,12 @@ bool Engine::block(int root_index, const Deadline& deadline) {
       const std::vector<Lit> inputs = solvers_.model_inputs();
       const Cube pred =
           lifter_.lift_predecessor(pred_full, inputs, ob.cube, deadline);
+      // push_back below may reallocate pool_, invalidating `ob` — snapshot
+      // the fields needed afterwards.
+      const std::size_t ob_level = ob.level;
+      const std::size_t ob_depth = ob.depth;
       pool_.push_back(
-          Obligation{pred, ob.level - 1, ob.depth + 1, idx, inputs});
+          Obligation{pred, ob_level - 1, ob_depth + 1, idx, inputs});
       const int pidx = static_cast<int>(pool_.size()) - 1;
       ++stats_.num_obligations;
       if (ts_.cube_intersects_init(pred.lits())) {
@@ -178,7 +182,7 @@ bool Engine::block(int root_index, const Deadline& deadline) {
         return false;
       }
       queue_.insert(QueueKey{pool_[pidx].level, pool_[pidx].depth, pidx});
-      queue_.insert(QueueKey{ob.level, ob.depth, idx});
+      queue_.insert(QueueKey{ob_level, ob_depth, idx});
     }
   }
   return true;

@@ -1,0 +1,65 @@
+# End-to-end smoke check for the `pilot` CLI, driven by CTest.
+#
+# Invocation (see tests/CMakeLists.txt):
+#   cmake -DPILOT_BIN=<path> -DFAMILY=<gen name> -DEXPECT_CODE=<0|1>
+#         -DWORK_DIR=<scratch dir> -P run_cli_case.cmake
+#
+# Steps:
+#   1. `pilot --gen FAMILY --gen-out WORK_DIR/FAMILY.aag` — exercises the
+#      circuit generator and the AIGER writer; must exit 0.
+#   2. `pilot --witness FILE` — exercises the AIGER reader and the engine;
+#      must exit EXPECT_CODE, print the matching verdict line, and emit the
+#      matching HWMCC witness block ("1\nb…" counterexample for UNSAFE,
+#      "0\nb…" certificate header for SAFE).
+
+foreach(required PILOT_BIN FAMILY EXPECT_CODE WORK_DIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "run_cli_case.cmake: missing -D${required}")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(model "${WORK_DIR}/${FAMILY}.aag")
+
+execute_process(
+  COMMAND "${PILOT_BIN}" --gen "${FAMILY}" --gen-out "${model}"
+  RESULT_VARIABLE gen_rc
+  ERROR_VARIABLE gen_err)
+if(NOT gen_rc EQUAL 0)
+  message(FATAL_ERROR
+    "generation failed (exit ${gen_rc}) for --gen ${FAMILY}:\n${gen_err}")
+endif()
+
+execute_process(
+  COMMAND "${PILOT_BIN}" --witness --budget-ms 60000 "${model}"
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+
+if(NOT check_rc EQUAL ${EXPECT_CODE})
+  message(FATAL_ERROR
+    "expected exit code ${EXPECT_CODE}, got ${check_rc} on ${model}\n"
+    "stdout:\n${check_out}\nstderr:\n${check_err}")
+endif()
+
+if(EXPECT_CODE EQUAL 0)
+  set(verdict "SAFE")
+  set(witness_head "0\nb")
+else()
+  set(verdict "UNSAFE")
+  set(witness_head "1\nb")
+endif()
+
+if(NOT check_out MATCHES "(^|\n)${verdict}\n")
+  message(FATAL_ERROR
+    "verdict line '${verdict}' missing from stdout:\n${check_out}")
+endif()
+string(FIND "${check_out}" "${witness_head}" witness_pos)
+if(witness_pos EQUAL -1)
+  message(FATAL_ERROR
+    "witness block starting '${witness_head}' missing from stdout:\n"
+    "${check_out}")
+endif()
+
+message(STATUS
+  "cli smoke ${FAMILY}: verdict ${verdict}, exit ${check_rc}, witness ok")

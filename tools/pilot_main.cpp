@@ -1,0 +1,243 @@
+/// \file pilot_main.cpp
+/// `pilot` — the top-level command-line model checker built on pilot_core.
+///
+///   pilot [options] model.aag|model.aig     check an AIGER file
+///   pilot --gen FAMILY [options]            check a built-in circuit family
+///   pilot --gen FAMILY --gen-out out.aag    write the circuit, don't check
+///
+/// The verdict is printed as a single line (SAFE / UNSAFE / UNKNOWN) on
+/// stdout; diagnostics go to stderr.  With --witness, UNSAFE runs print the
+/// counterexample in the AIGER/HWMCC witness format and SAFE runs print the
+/// "0\nb<index>\n." certificate header.
+///
+/// Exit codes (HWMCC convention, shared with examples/aiger_check):
+///   0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 3 = usage/parse/internal error
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aig/aiger_io.hpp"
+#include "check/checker.hpp"
+#include "circuits/families.hpp"
+#include "ic3/witness.hpp"
+#include "ts/transition_system.hpp"
+#include "util/options.hpp"
+
+using namespace pilot;
+
+namespace {
+
+using FamilyFn = circuits::CircuitCase (*)(std::int64_t n);
+
+/// Built-in circuits from circuits/families, each scaled by a single `--gen-n`
+/// knob (0 → the family's default size).  SAFE and UNSAFE variants are both
+/// exposed so smoke tests can exercise every verdict without input files.
+const std::map<std::string, FamilyFn>& family_registry() {
+  static const std::map<std::string, FamilyFn> kRegistry = {
+      {"counter-unsafe",
+       [](std::int64_t n) {
+         const std::uint64_t target = n > 0 ? static_cast<std::uint64_t>(n) : 10;
+         return circuits::counter_unsafe(6, target);
+       }},
+      {"counter-wrap-safe",
+       [](std::int64_t n) {
+         const std::uint64_t limit = n > 0 ? static_cast<std::uint64_t>(n) : 10;
+         return circuits::counter_wrap_safe(6, limit, limit + 5);
+       }},
+      {"lock-unsafe",
+       [](std::int64_t n) {
+         const std::size_t stages = n > 0 ? static_cast<std::size_t>(n) : 6;
+         std::vector<std::uint64_t> digits;
+         for (std::size_t i = 0; i < stages; ++i) digits.push_back(i % 4);
+         return circuits::combination_lock_unsafe(2, digits);
+       }},
+      {"lock-safe",
+       [](std::int64_t n) {
+         const std::size_t stages = n > 0 ? static_cast<std::size_t>(n) : 6;
+         std::vector<std::uint64_t> digits;
+         for (std::size_t i = 0; i < stages; ++i) digits.push_back(i % 4);
+         return circuits::combination_lock_safe(2, digits, stages / 2);
+       }},
+      {"token-ring-safe",
+       [](std::int64_t n) {
+         return circuits::token_ring_safe(n > 0 ? static_cast<std::size_t>(n)
+                                                : 6);
+       }},
+      {"token-ring-unsafe",
+       [](std::int64_t n) {
+         return circuits::token_ring_unsafe(n > 0 ? static_cast<std::size_t>(n)
+                                                  : 6);
+       }},
+      {"shift-register-unsafe",
+       [](std::int64_t n) {
+         return circuits::shift_register(
+             n > 0 ? static_cast<std::size_t>(n) : 8, false);
+       }},
+      {"shift-register-safe",
+       [](std::int64_t n) {
+         return circuits::shift_register(
+             n > 0 ? static_cast<std::size_t>(n) : 8, true);
+       }},
+      {"fifo-safe",
+       [](std::int64_t n) {
+         const std::uint64_t cap = n > 0 ? static_cast<std::uint64_t>(n) : 10;
+         return circuits::fifo_safe(6, cap);
+       }},
+      {"fifo-unsafe",
+       [](std::int64_t n) {
+         const std::uint64_t cap = n > 0 ? static_cast<std::uint64_t>(n) : 10;
+         return circuits::fifo_unsafe(6, cap);
+       }},
+      {"mutex-safe", [](std::int64_t) { return circuits::mutex_safe(); }},
+      {"mutex-unsafe", [](std::int64_t) { return circuits::mutex_unsafe(); }},
+  };
+  return kRegistry;
+}
+
+std::vector<std::string> family_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, fn] : family_registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string engine = "ic3-ctg-pl";
+  std::int64_t budget_ms = 0;
+  std::int64_t seed = 0;
+  std::int64_t property = 0;
+  bool verify_witness = true;
+  bool show_stats = false;
+  bool print_witness = false;
+  bool list_gen = false;
+  std::string gen;
+  std::string gen_out;
+
+  OptionParser parser(
+      "pilot — SAT-based safety model checker: IC3 with lemma prediction "
+      "from counterexamples to propagation (DAC'24).\n"
+      "usage: pilot [options] <model.aag|model.aig>\n"
+      "   or: pilot --gen FAMILY [--gen-out FILE] [options]\n"
+      "exit codes: 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 3 = error");
+  parser.add_choice("engine", &engine,
+                    {"ic3-down", "ic3-down-pl", "ic3-ctg", "ic3-ctg-pl",
+                     "ic3-cav23", "pdr", "bmc", "kind"},
+                    "engine configuration (-pl = predicted lemmas)");
+  parser.add_int("budget-ms", &budget_ms, "wall-clock budget, 0 = unlimited");
+  parser.add_int("seed", &seed, "engine randomization seed");
+  parser.add_int("property", &property, "property index (bad array / output)");
+  parser.add_flag("verify-witness", &verify_witness,
+                  "re-check the produced certificate (default on; "
+                  "--no-verify-witness to skip)");
+  parser.add_flag("stats", &show_stats, "print engine statistics to stderr");
+  parser.add_flag("witness", &print_witness,
+                  "print the certificate in AIGER/HWMCC witness format");
+  parser.add_choice("gen", &gen, family_names(),
+                    "check a built-in circuit family instead of a file");
+  std::int64_t gen_n = 0;
+  parser.add_int("gen-n", &gen_n, "size parameter for --gen (0 = default)");
+  parser.add_string("gen-out", &gen_out,
+                    "write the generated circuit as AIGER to this path and "
+                    "exit without checking");
+  parser.add_flag("list-gen", &list_gen, "list built-in circuit families");
+
+  // OptionParser::parse returns false for both --help and errors; handle
+  // --help up front so `pilot --help` exits 0.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(parser.help_text().c_str(), stdout);
+      return 0;
+    }
+  }
+  if (!parser.parse(argc, argv)) return 3;
+
+  if (list_gen) {
+    for (const auto& name : family_names()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
+  try {
+    aig::Aig model;
+    std::string source;
+    if (!gen.empty()) {
+      if (!parser.positional().empty()) {
+        std::fprintf(stderr, "pilot: --gen and a model file are exclusive\n");
+        return 3;
+      }
+      const circuits::CircuitCase c = family_registry().at(gen)(gen_n);
+      model = c.aig;
+      source = "gen:" + c.name;
+      if (!gen_out.empty()) {
+        aig::write_aiger_file(model, gen_out);
+        std::fprintf(stderr, "pilot: wrote %s (%s, expected %s)\n",
+                     gen_out.c_str(), c.name.c_str(),
+                     c.expected_safe ? "SAFE" : "UNSAFE");
+        return 0;
+      }
+    } else {
+      if (!gen_out.empty()) {
+        std::fprintf(stderr, "pilot: --gen-out requires --gen\n");
+        return 3;
+      }
+      if (parser.positional().size() != 1) {
+        std::fprintf(stderr,
+                     "usage: pilot [options] <model.aag|model.aig>\n"
+                     "(try `pilot --help`)\n");
+        return 3;
+      }
+      source = parser.positional()[0];
+      model = aig::read_aiger_file(source);
+    }
+
+    std::fprintf(stderr,
+                 "[pilot] %s: %zu inputs, %zu latches, %zu ands, %zu bad, "
+                 "%zu constraints\n",
+                 source.c_str(), model.num_inputs(), model.num_latches(),
+                 model.num_ands(), model.bads().size(),
+                 model.constraints().size());
+
+    check::CheckOptions opts;
+    opts.engine = check::engine_kind_from_string(engine);
+    opts.budget_ms = budget_ms;
+    opts.seed = static_cast<std::uint64_t>(seed);
+    opts.property_index = static_cast<std::size_t>(property);
+    opts.verify_witness = verify_witness;
+    // Build the transition system once; witness rendering reuses it.
+    const ts::TransitionSystem ts =
+        ts::TransitionSystem::from_aig(model, opts.property_index);
+    const check::CheckResult r = check::check_ts(ts, opts);
+
+    std::printf("%s\n", ic3::to_string(r.verdict));
+    if (print_witness) {
+      if (r.verdict == ic3::Verdict::kUnsafe && r.trace.has_value()) {
+        std::fputs(
+            ic3::to_aiger_witness(ts, *r.trace, opts.property_index).c_str(),
+            stdout);
+      } else if (r.verdict == ic3::Verdict::kSafe) {
+        std::printf("0\nb%zu\n.\n", opts.property_index);
+      }
+    }
+    std::fprintf(stderr, "[pilot] %.3fs, frames=%zu%s\n", r.seconds, r.frames,
+                 r.witness_checked ? ", witness verified" : "");
+    if (!r.witness_error.empty()) {
+      std::fprintf(stderr, "[pilot] WITNESS ERROR: %s\n",
+                   r.witness_error.c_str());
+      return 3;
+    }
+    if (show_stats) {
+      std::fprintf(stderr, "[pilot] %s\n", r.stats.summary().c_str());
+    }
+    switch (r.verdict) {
+      case ic3::Verdict::kSafe: return 0;
+      case ic3::Verdict::kUnsafe: return 1;
+      default: return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pilot: %s\n", e.what());
+    return 3;
+  }
+}
