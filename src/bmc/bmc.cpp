@@ -6,10 +6,36 @@
 
 namespace pilot::bmc {
 
+Trace extract_unrolled_trace(const sat::Solver& solver,
+                             const ts::Unroller& unroller,
+                             const ts::TransitionSystem& ts, int k) {
+  Trace trace;
+  for (int f = 0; f <= k; ++f) {
+    std::vector<sat::Lit> state;
+    for (std::size_t i = 0; i < ts.num_latches(); ++i) {
+      const sat::LBool v =
+          solver.model_value(sat::Lit::make(unroller.state_var(i, f)));
+      if (v.is_undef()) continue;
+      state.push_back(sat::Lit::make(ts.state_var(i), v.is_false()));
+    }
+    std::vector<sat::Lit> inputs;
+    for (std::size_t i = 0; i < ts.num_inputs(); ++i) {
+      const sat::LBool v =
+          solver.model_value(sat::Lit::make(unroller.input_var(i, f)));
+      if (v.is_undef()) continue;
+      inputs.push_back(sat::Lit::make(ts.input_var(i), v.is_false()));
+    }
+    trace.states.push_back(ic3::Cube::from_lits(std::move(state)));
+    trace.inputs.push_back(std::move(inputs));
+  }
+  return trace;
+}
+
 BmcResult run_bmc(const ts::TransitionSystem& ts, const BmcOptions& options,
-                  pilot::Deadline deadline) {
+                  pilot::Deadline deadline, const pilot::CancelToken* cancel) {
   Timer timer;
   BmcResult result;
+  if (cancel != nullptr) deadline = deadline.with_cancel(*cancel);
   sat::Solver solver;
   solver.set_seed(options.seed);
   ts::Unroller unroller(ts, solver, /*assert_init=*/true);
@@ -29,27 +55,7 @@ BmcResult run_bmc(const ts::TransitionSystem& ts, const BmcOptions& options,
     if (res == sat::SolveResult::kSat) {
       result.verdict = BmcVerdict::kUnsafe;
       result.counterexample_length = k;
-      // Assemble a concrete trace from the model.
-      Trace trace;
-      for (int f = 0; f <= k; ++f) {
-        std::vector<sat::Lit> state;
-        for (std::size_t i = 0; i < ts.num_latches(); ++i) {
-          const sat::LBool v = solver.model_value(
-              sat::Lit::make(unroller.state_var(i, f)));
-          if (v.is_undef()) continue;
-          state.push_back(sat::Lit::make(ts.state_var(i), v.is_false()));
-        }
-        std::vector<sat::Lit> inputs;
-        for (std::size_t i = 0; i < ts.num_inputs(); ++i) {
-          const sat::LBool v = solver.model_value(
-              sat::Lit::make(unroller.input_var(i, f)));
-          if (v.is_undef()) continue;
-          inputs.push_back(sat::Lit::make(ts.input_var(i), v.is_false()));
-        }
-        trace.states.push_back(ic3::Cube::from_lits(std::move(state)));
-        trace.inputs.push_back(std::move(inputs));
-      }
-      result.trace = std::move(trace);
+      result.trace = extract_unrolled_trace(solver, unroller, ts, k);
       result.seconds = timer.seconds();
       return result;
     }

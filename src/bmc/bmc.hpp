@@ -10,7 +10,10 @@
 #include <vector>
 
 #include "ic3/witness.hpp"
+#include "sat/solver.hpp"
 #include "ts/transition_system.hpp"
+#include "ts/unroller.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace pilot::bmc {
@@ -31,8 +34,18 @@ struct BmcOptions {
   std::uint64_t seed = 0;
 };
 
-/// Checks bad reachability for bounds 0..max_bound incrementally.
+/// Checks bad reachability for bounds 0..max_bound incrementally.  A
+/// non-null `cancel` aborts the search cooperatively (verdict stays
+/// kUnknown); the flag is polled both per bound and inside the SAT calls.
 BmcResult run_bmc(const ts::TransitionSystem& ts, const BmcOptions& options,
-                  pilot::Deadline deadline = {});
+                  pilot::Deadline deadline = {},
+                  const pilot::CancelToken* cancel = nullptr);
+
+/// Assembles the concrete 0..k counterexample trace from the satisfying
+/// model of an unrolled solver.  Shared by BMC and the k-induction base
+/// case so every UNSAFE verdict carries a replayable witness.
+Trace extract_unrolled_trace(const sat::Solver& solver,
+                             const ts::Unroller& unroller,
+                             const ts::TransitionSystem& ts, int k);
 
 }  // namespace pilot::bmc

@@ -1,5 +1,6 @@
 #include "bmc/kinduction.hpp"
 
+#include "bmc/bmc.hpp"
 #include "sat/solver.hpp"
 #include "ts/unroller.hpp"
 
@@ -34,10 +35,11 @@ void add_state_disequality(sat::Solver& solver, const ts::Unroller& unroller,
 }  // namespace
 
 KindResult run_kinduction(const ts::TransitionSystem& ts,
-                          const KindOptions& options,
-                          pilot::Deadline deadline) {
+                          const KindOptions& options, pilot::Deadline deadline,
+                          const pilot::CancelToken* cancel) {
   Timer timer;
   KindResult result;
+  if (cancel != nullptr) deadline = deadline.with_cancel(*cancel);
 
   sat::Solver base_solver;
   base_solver.set_seed(options.seed);
@@ -61,6 +63,7 @@ KindResult run_kinduction(const ts::TransitionSystem& ts,
       if (res == sat::SolveResult::kSat) {
         result.verdict = KindVerdict::kUnsafe;
         result.k = k;
+        result.trace = extract_unrolled_trace(base_solver, base, ts, k);
         result.seconds = timer.seconds();
         return result;
       }

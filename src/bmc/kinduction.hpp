@@ -8,8 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
+#include "ic3/witness.hpp"
 #include "ts/transition_system.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace pilot::bmc {
@@ -20,6 +23,7 @@ struct KindResult {
   KindVerdict verdict = KindVerdict::kUnknown;
   int k = -1;  // proof depth or counterexample length
   double seconds = 0.0;
+  std::optional<ic3::Trace> trace;  // when UNSAFE (base-case model)
 };
 
 struct KindOptions {
@@ -28,8 +32,11 @@ struct KindOptions {
   std::uint64_t seed = 0;
 };
 
+/// A non-null `cancel` aborts the search cooperatively (verdict stays
+/// kUnknown); the flag is polled per bound and inside the SAT calls.
 KindResult run_kinduction(const ts::TransitionSystem& ts,
                           const KindOptions& options,
-                          pilot::Deadline deadline = {});
+                          pilot::Deadline deadline = {},
+                          const pilot::CancelToken* cancel = nullptr);
 
 }  // namespace pilot::bmc

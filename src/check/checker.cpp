@@ -1,9 +1,10 @@
 #include "check/checker.hpp"
 
 #include <stdexcept>
+#include <string_view>
+#include <utility>
 
-#include "bmc/bmc.hpp"
-#include "bmc/kinduction.hpp"
+#include "engine/backend.hpp"
 
 namespace pilot::check {
 
@@ -17,6 +18,7 @@ const char* to_string(EngineKind kind) {
     case EngineKind::kPdr: return "pdr";
     case EngineKind::kBmc: return "bmc";
     case EngineKind::kKinduction: return "kind";
+    case EngineKind::kPortfolio: return "portfolio";
   }
   return "?";
 }
@@ -25,7 +27,7 @@ EngineKind engine_kind_from_string(const std::string& name) {
   for (const EngineKind k :
        {EngineKind::kIc3Down, EngineKind::kIc3DownPl, EngineKind::kIc3Ctg,
         EngineKind::kIc3CtgPl, EngineKind::kIc3Cav23, EngineKind::kPdr,
-        EngineKind::kBmc, EngineKind::kKinduction}) {
+        EngineKind::kBmc, EngineKind::kKinduction, EngineKind::kPortfolio}) {
     if (name == to_string(k)) return k;
   }
   throw std::invalid_argument("unknown engine '" + name + "'");
@@ -40,48 +42,15 @@ const std::vector<EngineKind>& paper_configurations() {
 }
 
 ic3::Config config_for(EngineKind kind, std::uint64_t seed) {
-  ic3::Config cfg;
-  cfg.seed = seed;
-  switch (kind) {
-    case EngineKind::kIc3Down:
-      cfg.gen_mode = ic3::GenMode::kDown;
-      break;
-    case EngineKind::kIc3DownPl:
-      cfg.gen_mode = ic3::GenMode::kDown;
-      cfg.predict_lemmas = true;
-      break;
-    case EngineKind::kIc3Ctg:
-      cfg.gen_mode = ic3::GenMode::kCtg;
-      break;
-    case EngineKind::kIc3CtgPl:
-      cfg.gen_mode = ic3::GenMode::kCtg;
-      cfg.predict_lemmas = true;
-      break;
-    case EngineKind::kIc3Cav23:
-      cfg.gen_mode = ic3::GenMode::kCav23;
-      break;
-    case EngineKind::kPdr:
-      cfg.apply_profile(ic3::Profile::kPdr);
-      break;
-    default:
-      throw std::invalid_argument("config_for: not an IC3-family engine");
-  }
-  return cfg;
+  return engine::ic3_config_for(to_string(kind), seed);
 }
 
 namespace {
 
-CheckResult run_ic3(const ts::TransitionSystem& ts,
+/// Certifies the certificate (when present and requested) and folds an
+/// EngineResult into the CheckResult shape shared by every engine.
+CheckResult certify(const ts::TransitionSystem& ts, engine::EngineResult r,
                     const CheckOptions& options) {
-  ic3::Config cfg = options.ic3_overrides.has_value()
-                        ? *options.ic3_overrides
-                        : config_for(options.engine, options.seed);
-  ic3::Engine engine(ts, cfg);
-  const Deadline deadline = options.budget_ms > 0
-                                ? Deadline::in_milliseconds(options.budget_ms)
-                                : Deadline{};
-  ic3::Result r = engine.check(deadline);
-
   CheckResult out;
   out.verdict = r.verdict;
   out.seconds = r.seconds;
@@ -103,42 +72,26 @@ CheckResult run_ic3(const ts::TransitionSystem& ts,
   return out;
 }
 
-CheckResult run_bmc_engine(const ts::TransitionSystem& ts,
-                           const CheckOptions& options) {
-  bmc::BmcOptions bo;
-  bo.seed = options.seed;
-  const Deadline deadline = options.budget_ms > 0
-                                ? Deadline::in_milliseconds(options.budget_ms)
-                                : Deadline{};
-  bmc::BmcResult r = bmc::run_bmc(ts, bo, deadline);
-  CheckResult out;
-  out.seconds = r.seconds;
-  if (r.verdict == bmc::BmcVerdict::kUnsafe) {
-    out.verdict = ic3::Verdict::kUnsafe;
-    if (options.verify_witness && r.trace.has_value()) {
-      const ic3::CheckOutcome c = ic3::check_trace(ts, *r.trace);
-      out.witness_checked = c.ok;
-      out.witness_error = c.reason;
-    }
-    out.trace = std::move(r.trace);
-  }
-  return out;  // bound reached / unknown → kUnknown (BMC cannot prove)
+[[nodiscard]] Deadline deadline_for(const CheckOptions& options) {
+  return options.budget_ms > 0 ? Deadline::in_milliseconds(options.budget_ms)
+                               : Deadline{};
 }
 
-CheckResult run_kind_engine(const ts::TransitionSystem& ts,
-                            const CheckOptions& options) {
-  bmc::KindOptions ko;
-  ko.seed = options.seed;
-  const Deadline deadline = options.budget_ms > 0
-                                ? Deadline::in_milliseconds(options.budget_ms)
-                                : Deadline{};
-  const bmc::KindResult r = bmc::run_kinduction(ts, ko, deadline);
-  CheckResult out;
-  out.seconds = r.seconds;
-  if (r.verdict == bmc::KindVerdict::kSafe) out.verdict = ic3::Verdict::kSafe;
-  if (r.verdict == bmc::KindVerdict::kUnsafe) {
-    out.verdict = ic3::Verdict::kUnsafe;
-  }
+/// `backends` empty = race the default mix.
+CheckResult run_portfolio_backends(const ts::TransitionSystem& ts,
+                                   std::vector<std::string> backends,
+                                   const CheckOptions& options) {
+  engine::PortfolioOptions po;
+  po.backends = std::move(backends);
+  po.seed = options.seed;
+  // ic3_overrides is deliberately NOT forwarded: one override applied to
+  // every IC3-family backend would collapse the race into identical
+  // configurations.  Overrides apply to single-engine specs only.
+  engine::PortfolioResult pr =
+      engine::run_portfolio(ts, po, deadline_for(options));
+  CheckResult out = certify(ts, std::move(pr.result), options);
+  out.winner = std::move(pr.winner);
+  out.backend_timings = std::move(pr.timings);
   return out;
 }
 
@@ -146,14 +99,32 @@ CheckResult run_kind_engine(const ts::TransitionSystem& ts,
 
 CheckResult check_ts(const ts::TransitionSystem& ts,
                      const CheckOptions& options) {
-  switch (options.engine) {
-    case EngineKind::kBmc:
-      return run_bmc_engine(ts, options);
-    case EngineKind::kKinduction:
-      return run_kind_engine(ts, options);
-    default:
-      return run_ic3(ts, options);
+  // All engine construction goes through the backend registry; the enum is
+  // only a naming shim.
+  const std::string spec =
+      options.engine_spec.empty() ? to_string(options.engine)
+                                  : options.engine_spec;
+  if (spec == "portfolio") {
+    return run_portfolio_backends(ts, {}, options);  // default backend mix
   }
+  constexpr std::string_view kPortfolioPrefix = "portfolio:";
+  if (spec.rfind(kPortfolioPrefix, 0) == 0) {
+    // An empty list after the ':' is a malformed spec, rejected by
+    // parse_portfolio_spec — it does not silently mean "defaults".
+    return run_portfolio_backends(
+        ts,
+        engine::parse_portfolio_spec(spec.substr(kPortfolioPrefix.size())),
+        options);
+  }
+
+  engine::BackendContext ctx;
+  ctx.seed = options.seed;
+  ctx.ic3_overrides = options.ic3_overrides;
+  const std::unique_ptr<engine::Backend> backend =
+      engine::make_backend(spec, ts, ctx);
+  engine::EngineResult r =
+      backend->check(deadline_for(options), /*cancel=*/nullptr);
+  return certify(ts, std::move(r), options);
 }
 
 CheckResult check_aig(const aig::Aig& aig, const CheckOptions& options) {

@@ -1,13 +1,19 @@
 /// \file checker.hpp
-/// Unified model-checking front door: pick an engine configuration, get a
-/// verdict with a certified witness.
+/// Unified model-checking front door: pick an engine configuration (or a
+/// portfolio of them), get a verdict with a certified witness.
+///
+/// Engine construction and dispatch go through the engine::Backend registry
+/// (engine/backend.hpp); the `EngineKind` enum survives only as a thin
+/// compatibility shim for the batch runner and the bench harnesses, mapping
+/// 1:1 onto registry names via to_string().
 ///
 /// The six configurations evaluated in the paper map onto EngineKind as
 /// follows (DESIGN.md §2):
 ///   RIC3         → kIc3Down       RIC3-pl      → kIc3DownPl
 ///   IC3ref       → kIc3Ctg        IC3ref-pl    → kIc3CtgPl
 ///   IC3ref-CAV23 → kIc3Cav23      ABC-PDR      → kPdr
-/// plus the kBmc / kKinduction baselines for cross-checking.
+/// plus the kBmc / kKinduction baselines for cross-checking and kPortfolio,
+/// which races several backends and takes the first verdict.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "engine/portfolio.hpp"
 #include "ic3/engine.hpp"
 #include "ts/transition_system.hpp"
 #include "util/timer.hpp"
@@ -31,6 +38,7 @@ enum class EngineKind {
   kPdr,
   kBmc,
   kKinduction,
+  kPortfolio,
 };
 
 [[nodiscard]] const char* to_string(EngineKind kind);
@@ -41,12 +49,18 @@ enum class EngineKind {
 
 struct CheckOptions {
   EngineKind engine = EngineKind::kIc3Ctg;
+  /// Engine selector by registry name; overrides `engine` when non-empty.
+  /// Accepts any registered backend name plus "portfolio" or
+  /// "portfolio:a+b+c" (a "+"-separated backend list).
+  std::string engine_spec;
   std::int64_t budget_ms = 0;  // 0 = unlimited
   std::uint64_t seed = 0;
   std::size_t property_index = 0;
   /// Certify witnesses (trace replay / invariant re-check) after solving.
   bool verify_witness = true;
-  /// Extra IC3 knobs forwarded verbatim (ablations).
+  /// Extra IC3 knobs forwarded verbatim (ablations).  Single-engine specs
+  /// only: portfolio races keep each backend's own configuration (use
+  /// engine::PortfolioOptions directly to override a whole race).
   std::optional<ic3::Config> ic3_overrides;
 };
 
@@ -59,9 +73,14 @@ struct CheckResult {
   std::string witness_error;     // non-empty if certification failed
   std::optional<ic3::Trace> trace;                  // UNSAFE certificate
   std::optional<ic3::InductiveInvariant> invariant; // SAFE certificate
+  /// Portfolio runs only: the winning backend and one timing row per raced
+  /// backend (spec order).
+  std::string winner;
+  std::vector<engine::BackendTiming> backend_timings;
 };
 
 /// Builds the ic3::Config corresponding to an IC3-family EngineKind.
+/// (Compatibility shim over engine::ic3_config_for.)
 [[nodiscard]] ic3::Config config_for(EngineKind kind, std::uint64_t seed);
 
 /// Checks property `property_index` of `aig` with the chosen engine.

@@ -1,0 +1,128 @@
+#include "engine/portfolio.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace pilot::engine {
+
+const std::vector<std::string>& default_portfolio_backends() {
+  static const std::vector<std::string> kDefaults{
+      "ic3-ctg-pl", "ic3-down-pl", "bmc", "kind"};
+  return kDefaults;
+}
+
+std::vector<std::string> parse_portfolio_spec(const std::string& spec) {
+  if (spec.empty()) {
+    throw std::invalid_argument(
+        "portfolio spec is empty (omit the ':' to race the default mix)");
+  }
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t plus = spec.find('+', start);
+    const std::size_t end = plus == std::string::npos ? spec.size() : plus;
+    const std::string name = spec.substr(start, end - start);
+    if (name.empty()) {
+      throw std::invalid_argument("portfolio spec '" + spec +
+                                  "': empty backend name");
+    }
+    if (!backend_registered(name)) {
+      throw std::invalid_argument("portfolio spec: unknown backend '" + name +
+                                  "'");
+    }
+    for (const std::string& seen : names) {
+      if (seen == name) {
+        throw std::invalid_argument("portfolio spec: duplicate backend '" +
+                                    name + "'");
+      }
+    }
+    names.push_back(name);
+    if (plus == std::string::npos) break;
+    start = plus + 1;
+  }
+  return names;
+}
+
+PortfolioResult run_portfolio(const ts::TransitionSystem& ts,
+                              const PortfolioOptions& options,
+                              Deadline deadline, const CancelToken* cancel) {
+  Timer race_timer;
+  const std::vector<std::string>& names =
+      options.backends.empty() ? default_portfolio_backends()
+                               : options.backends;
+
+  BackendContext ctx;
+  ctx.seed = options.seed;
+  ctx.ic3_overrides = options.ic3_overrides;
+
+  // Build every backend up front so an unknown name throws before any
+  // thread exists.
+  std::vector<std::unique_ptr<Backend>> backends;
+  backends.reserve(names.size());
+  for (const std::string& name : names) {
+    backends.push_back(make_backend(name, ts, ctx));
+  }
+
+  // The race: `stop` chains the caller's token so an outer abort also stops
+  // every worker; the first definitive verdict claims `winner` and stops
+  // the rest.
+  CancelToken stop(cancel);
+  std::atomic<int> winner{-1};
+  std::vector<EngineResult> results(backends.size());
+
+  auto worker = [&](std::size_t i) {
+    EngineResult r = backends[i]->check(deadline, &stop);
+    if (r.verdict != ic3::Verdict::kUnknown) {
+      int expected = -1;
+      if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+        stop.request_stop();
+      }
+    }
+    results[i] = std::move(r);
+  };
+
+  if (backends.size() == 1) {
+    worker(0);  // degenerate portfolio: no threads needed
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(backends.size());
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      threads.emplace_back(worker, i);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  PortfolioResult out;
+  const int win = winner.load();
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    BackendTiming timing;
+    timing.name = names[i];
+    timing.verdict = results[i].verdict;
+    timing.seconds = results[i].seconds;
+    timing.winner = static_cast<int>(i) == win;
+    // Only cut-short runs count as cancelled; a backend that completed on
+    // its own without a verdict (e.g. BMC exhausting its bound) did not
+    // lose to the stop request.
+    timing.cancelled = results[i].interrupted && stop.stop_requested();
+    out.timings.push_back(std::move(timing));
+  }
+  if (win >= 0) {
+    out.winner = names[static_cast<std::size_t>(win)];
+    out.result = std::move(results[static_cast<std::size_t>(win)]);
+    PILOT_INFO("portfolio: " << out.winner << " wins with "
+                             << ic3::to_string(out.result.verdict) << " in "
+                             << out.result.seconds << "s");
+  } else {
+    // No verdict anywhere: report the race's real wall-clock, not a
+    // default-constructed 0.0, so budget-exhausted rows stay meaningful.
+    out.result.seconds = race_timer.seconds();
+    out.result.interrupted = stop.stop_requested();
+  }
+  return out;
+}
+
+}  // namespace pilot::engine

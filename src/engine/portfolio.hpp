@@ -1,0 +1,83 @@
+/// \file portfolio.hpp
+/// First-verdict-wins portfolio scheduler over the backend registry.
+///
+/// Runs N backends concurrently — one worker thread each, all over the same
+/// immutable `TransitionSystem` — and returns as soon as one produces a
+/// definitive verdict (SAFE / UNSAFE).  The winner flips a shared
+/// `CancelToken`; the losers observe it at their next deadline poll (deep in
+/// the SAT search loop) and return kUnknown promptly, so the portfolio's
+/// wall-clock is the *fastest* backend's, not the slowest's.
+///
+/// Soundness: every backend answers the same reachability question, so any
+/// disagreement between definitive verdicts would be an engine bug; the
+/// scheduler records every finisher's verdict and run_portfolio's caller can
+/// cross-check.  Determinism of the *verdict* is therefore independent of
+/// which backend happens to win the race.
+///
+/// Thread-ownership rules:
+///   * the TransitionSystem is shared read-only; backends build their own
+///     SAT solvers, so no solver state crosses threads;
+///   * each Backend instance is constructed and driven by its own worker;
+///   * the shared CancelToken and the winner index are the only cross-thread
+///     state, both atomic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/backend.hpp"
+#include "ts/transition_system.hpp"
+#include "util/cancel.hpp"
+#include "util/timer.hpp"
+
+namespace pilot::engine {
+
+struct PortfolioOptions {
+  /// Backend names to race; empty → default_portfolio_backends().
+  std::vector<std::string> backends;
+  std::uint64_t seed = 0;
+  /// Extra IC3 knobs forwarded to the IC3-family backends.
+  std::optional<ic3::Config> ic3_overrides;
+};
+
+/// Per-backend outcome of one race, in spec order.
+struct BackendTiming {
+  std::string name;
+  ic3::Verdict verdict = ic3::Verdict::kUnknown;
+  double seconds = 0.0;
+  bool winner = false;
+  /// kUnknown because the winner's stop request (or an outer cancel)
+  /// aborted this backend — as opposed to its own timeout/bound.
+  bool cancelled = false;
+};
+
+struct PortfolioResult {
+  /// The winning backend's result; verdict kUnknown when nobody solved the
+  /// instance within the deadline.
+  EngineResult result;
+  /// Name of the winning backend; empty when there is no winner.
+  std::string winner;
+  std::vector<BackendTiming> timings;
+};
+
+/// The default race: the two strongest IC3 configurations plus the
+/// bug-finding and shallow-proof specialists.
+[[nodiscard]] const std::vector<std::string>& default_portfolio_backends();
+
+/// Parses a "+"-separated backend list ("ic3-ctg-pl+bmc+kind").  Throws
+/// std::invalid_argument on an empty spec and on unknown or duplicate
+/// names; race the default mix by leaving PortfolioOptions::backends empty
+/// instead.
+[[nodiscard]] std::vector<std::string> parse_portfolio_spec(
+    const std::string& spec);
+
+/// Races the configured backends; first definitive verdict wins and cancels
+/// the rest.  `cancel` (nullable) aborts the whole race from outside.
+/// Throws std::invalid_argument for unknown backend names — before any
+/// thread is spawned.
+PortfolioResult run_portfolio(const ts::TransitionSystem& ts,
+                              const PortfolioOptions& options,
+                              Deadline deadline = {},
+                              const CancelToken* cancel = nullptr);
+
+}  // namespace pilot::engine

@@ -23,9 +23,11 @@ void Engine::add_lemma(const Cube& cube, std::size_t level) {
   }
 }
 
-Result Engine::check(Deadline deadline) {
+Result Engine::check(Deadline deadline, const CancelToken* cancel) {
   Timer total;
   Result result;
+  cancel_ = cancel;
+  if (cancel != nullptr) deadline = deadline.with_cancel(*cancel);
   try {
     frames_.ensure_level(0);
     solvers_.ensure_level(0);
@@ -46,6 +48,7 @@ Result Engine::check(Deadline deadline) {
       frames_.ensure_level(1);
       solvers_.ensure_level(1);
       for (;;) {
+        if (cancel_ != nullptr && cancel_->stop_requested()) throw TimeoutError{};
         // ---- blocking phase: make R_k exclude the bad cone ----
         bool unsafe = false;
         while (solvers_.solve_bad(k, deadline)) {
@@ -88,8 +91,17 @@ Result Engine::check(Deadline deadline) {
       }
     }
   } catch (const TimeoutError&) {
+    // Timeout or cancellation: report UNKNOWN with the statistics gathered
+    // so far.
     result.verdict = Verdict::kUnknown;
   }
+  // Whatever the outcome — verdict, timeout, or cancellation — no
+  // proof-obligation state survives the run (pending_obligations() == 0);
+  // the trace, if any, was already assembled from the pool.
+  pool_.clear();
+  queue_.clear();
+  cex_leaf_ = -1;
+  cancel_ = nullptr;
   result.frames = stats_.max_frame;
   result.seconds = total.seconds();
   stats_.time_total = result.seconds;
@@ -101,6 +113,7 @@ bool Engine::block(int root_index, const Deadline& deadline) {
   queue_.insert(QueueKey{pool_[root_index].level, pool_[root_index].depth,
                          root_index});
   while (!queue_.empty()) {
+    if (cancel_ != nullptr && cancel_->stop_requested()) throw TimeoutError{};
     const auto it = queue_.begin();
     const int idx = std::get<2>(*it);
     queue_.erase(it);
@@ -197,6 +210,7 @@ bool Engine::propagate(const Deadline& deadline) {
   for (std::size_t i = 1; i < frames_.top_level() && !fixpoint; ++i) {
     const std::vector<Cube> snapshot = frames_.delta(i);
     for (const Cube& c : snapshot) {
+      if (cancel_ != nullptr && cancel_->stop_requested()) throw TimeoutError{};
       // The lemma may have been subsumed by a previous push in this pass.
       const auto& bucket = frames_.delta(i);
       if (std::find(bucket.begin(), bucket.end(), c) == bucket.end()) {

@@ -55,8 +55,18 @@ class Engine {
  public:
   explicit Engine(const ts::TransitionSystem& ts, Config cfg = {});
 
-  /// Runs the check until a verdict or until the deadline expires.
-  Result check(Deadline deadline = {});
+  /// Runs the check until a verdict, until the deadline expires, or until
+  /// `cancel` (when non-null) requests a stop.  Timeout and cancellation
+  /// both yield Verdict::kUnknown with the statistics gathered so far and
+  /// an empty obligation queue, so the caller sees a clean partial run.
+  Result check(Deadline deadline = {}, const CancelToken* cancel = nullptr);
+
+  /// Obligations still queued (0 after every check(), including aborted
+  /// ones — exposed so tests can assert cancellation leaves no dangling
+  /// proof state).
+  [[nodiscard]] std::size_t pending_obligations() const {
+    return queue_.size();
+  }
 
  private:
   struct Obligation {
@@ -89,6 +99,7 @@ class Engine {
   std::vector<Obligation> pool_;
   std::set<QueueKey> queue_;
   int cex_leaf_ = -1;
+  const CancelToken* cancel_ = nullptr;  // valid for the duration of check()
 };
 
 }  // namespace pilot::ic3

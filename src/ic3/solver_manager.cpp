@@ -1,7 +1,5 @@
 #include "ic3/solver_manager.hpp"
 
-#include <algorithm>
-
 #include "util/log.hpp"
 
 namespace pilot::ic3 {
@@ -87,14 +85,24 @@ bool SolverManager::relative_inductive(const Cube& c, std::size_t level,
 Cube SolverManager::shrink_with_core(const Cube& c) const {
   // Keep only the literals of c whose primed counterpart appears in the
   // final-conflict core, then repair initiation: the shrunk cube must stay
-  // disjoint from I, which c itself is.
-  std::vector<Lit> kept;
+  // disjoint from I, which c itself is.  The core literals are marked in a
+  // flag vector so the membership test is O(1) per literal instead of a
+  // scan over the core.
   const std::vector<Lit>& core = solver_->core();
+  for (const Lit l : core) {
+    const auto idx = static_cast<std::size_t>(l.index());
+    if (idx >= core_mark_.size()) core_mark_.resize(idx + 1, 0);
+    core_mark_[idx] = 1;
+  }
+  std::vector<Lit> kept;
   for (const Lit l : c) {
-    const Lit primed = ts_.prime(l);
-    if (std::find(core.begin(), core.end(), primed) != core.end()) {
+    const auto idx = static_cast<std::size_t>(ts_.prime(l).index());
+    if (idx < core_mark_.size() && core_mark_[idx] != 0) {
       kept.push_back(l);
     }
+  }
+  for (const Lit l : core) {
+    core_mark_[static_cast<std::size_t>(l.index())] = 0;
   }
   Cube shrunk = Cube::from_sorted(std::move(kept));
   if (shrunk.empty()) return c;  // degenerate core; keep the original

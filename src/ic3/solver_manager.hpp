@@ -91,6 +91,10 @@ class SolverManager {
   std::unique_ptr<sat::Solver> solver_;
   std::vector<Var> act_vars_;
   std::size_t retired_tmp_ = 0;
+  // Scratch for shrink_with_core: flags indexed by Lit::index(), marked for
+  // the core's literals and cleared again on exit (avoids an O(|c|·|core|)
+  // scan per call).
+  mutable std::vector<char> core_mark_;
 };
 
 }  // namespace pilot::ic3

@@ -1,0 +1,44 @@
+/// \file cancel.hpp
+/// Cooperative cancellation for concurrently racing engines.
+///
+/// A `CancelToken` is a shared atomic stop flag: the portfolio scheduler
+/// owns one per race, hands a pointer to every backend, and flips it the
+/// moment the first definitive verdict lands.  Engines fold the token into
+/// their `Deadline` (see Deadline::with_cancel), so the SAT solver's
+/// existing deadline polls — every few hundred conflicts/decisions — double
+/// as cancellation points and losers stop promptly instead of burning their
+/// full budget.
+///
+/// Tokens can be chained: a token constructed with a parent also reports
+/// stop when the parent does, which lets a nested race (portfolio inside a
+/// cancellable check) honour both its own winner and an outer abort.
+#pragma once
+
+#include <atomic>
+
+namespace pilot {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// A token that additionally stops when `parent` stops.
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests a stop.  Thread-safe, idempotent, never blocks.
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+  /// True once request_stop() was called on this token or an ancestor.
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->stop_requested());
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  const CancelToken* parent_ = nullptr;
+};
+
+}  // namespace pilot

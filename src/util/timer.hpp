@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/cancel.hpp"
+
 namespace pilot {
 
 /// Monotonic stopwatch measuring elapsed wall-clock time.
@@ -38,6 +40,11 @@ class Timer {
 ///
 /// A default-constructed Deadline never expires.  Deadlines are value types
 /// and cheap to copy; engines receive them by value.
+///
+/// A Deadline may additionally carry a CancelToken (with_cancel); expired()
+/// then also reports true once the token is stopped, so every existing
+/// deadline poll — down to the SAT solver's conflict loop — doubles as a
+/// cancellation point.  The token must outlive every copy of the deadline.
 class Deadline {
  public:
   /// Never expires.
@@ -56,15 +63,31 @@ class Deadline {
     return in_milliseconds(static_cast<std::int64_t>(budget_s * 1e3));
   }
 
-  [[nodiscard]] bool unlimited() const { return unlimited_; }
-
-  /// True once the budget is exhausted.
-  [[nodiscard]] bool expired() const {
-    return !unlimited_ && Clock::now() >= end_;
+  /// Returns a copy that also expires once `cancel` is stopped.  Replaces
+  /// any token carried so far; chain tokens (CancelToken parents) to
+  /// combine several stop sources.
+  [[nodiscard]] Deadline with_cancel(const CancelToken& cancel) const {
+    Deadline d = *this;
+    d.cancel_ = &cancel;
+    return d;
   }
 
-  /// Remaining budget in seconds (infinity if unlimited, clamps at 0).
+  /// True when the attached CancelToken (if any) was stopped.
+  [[nodiscard]] bool cancelled() const {
+    return cancel_ != nullptr && cancel_->stop_requested();
+  }
+
+  [[nodiscard]] bool unlimited() const { return unlimited_; }
+
+  /// True once the budget is exhausted or the attached token stopped.
+  [[nodiscard]] bool expired() const {
+    return cancelled() || (!unlimited_ && Clock::now() >= end_);
+  }
+
+  /// Remaining budget in seconds (infinity if unlimited, clamps at 0,
+  /// 0 when cancelled).
   [[nodiscard]] double remaining_seconds() const {
+    if (cancelled()) return 0.0;
     if (unlimited_) return std::numeric_limits<double>::infinity();
     const double r = std::chrono::duration<double>(end_ - Clock::now()).count();
     return r > 0.0 ? r : 0.0;
@@ -74,6 +97,7 @@ class Deadline {
   using Clock = std::chrono::steady_clock;
   bool unlimited_ = true;
   Clock::time_point end_{};
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace pilot

@@ -2,13 +2,16 @@
 #
 # Invocation (see tests/CMakeLists.txt):
 #   cmake -DPILOT_BIN=<path> -DFAMILY=<gen name> -DEXPECT_CODE=<0|1>
-#         -DWORK_DIR=<scratch dir> -P run_cli_case.cmake
+#         -DWORK_DIR=<scratch dir> [-DENGINE=<engine spec>]
+#         -P run_cli_case.cmake
 #
 # Steps:
 #   1. `pilot --gen FAMILY --gen-out WORK_DIR/FAMILY.aag` — exercises the
 #      circuit generator and the AIGER writer; must exit 0.
-#   2. `pilot --witness FILE` — exercises the AIGER reader and the engine;
-#      must exit EXPECT_CODE, print the matching verdict line, and emit the
+#   2. `pilot --witness [--engine ENGINE] FILE` — exercises the AIGER reader
+#      and the engine (ENGINE defaults to the CLI's default; pass e.g.
+#      "portfolio" or "portfolio:bmc+kind" to cover the scheduler); must
+#      exit EXPECT_CODE, print the matching verdict line, and emit the
 #      matching HWMCC witness block ("1\nb…" counterexample for UNSAFE,
 #      "0\nb…" certificate header for SAFE).
 
@@ -17,6 +20,11 @@ foreach(required PILOT_BIN FAMILY EXPECT_CODE WORK_DIR)
     message(FATAL_ERROR "run_cli_case.cmake: missing -D${required}")
   endif()
 endforeach()
+
+set(engine_args "")
+if(DEFINED ENGINE)
+  set(engine_args --engine "${ENGINE}")
+endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
 set(model "${WORK_DIR}/${FAMILY}.aag")
@@ -31,7 +39,7 @@ if(NOT gen_rc EQUAL 0)
 endif()
 
 execute_process(
-  COMMAND "${PILOT_BIN}" --witness --budget-ms 60000 "${model}"
+  COMMAND "${PILOT_BIN}" --witness --budget-ms 60000 ${engine_args} "${model}"
   RESULT_VARIABLE check_rc
   OUTPUT_VARIABLE check_out
   ERROR_VARIABLE check_err)
@@ -61,5 +69,11 @@ if(witness_pos EQUAL -1)
     "${check_out}")
 endif()
 
+if(DEFINED ENGINE)
+  set(engine_note " (engine ${ENGINE})")
+else()
+  set(engine_note "")
+endif()
 message(STATUS
-  "cli smoke ${FAMILY}: verdict ${verdict}, exit ${check_rc}, witness ok")
+  "cli smoke ${FAMILY}${engine_note}: "
+  "verdict ${verdict}, exit ${check_rc}, witness ok")

@@ -6,6 +6,7 @@
 #include "check/checker.hpp"
 #include "circuits/builder.hpp"
 #include "circuits/families.hpp"
+#include "engine/backend.hpp"
 
 namespace pilot::check {
 namespace {
@@ -14,10 +15,32 @@ TEST(Checker, EngineKindStringsRoundTrip) {
   for (const EngineKind k :
        {EngineKind::kIc3Down, EngineKind::kIc3DownPl, EngineKind::kIc3Ctg,
         EngineKind::kIc3CtgPl, EngineKind::kIc3Cav23, EngineKind::kPdr,
-        EngineKind::kBmc, EngineKind::kKinduction}) {
+        EngineKind::kBmc, EngineKind::kKinduction, EngineKind::kPortfolio}) {
     EXPECT_EQ(engine_kind_from_string(to_string(k)), k);
   }
   EXPECT_THROW((void)engine_kind_from_string("nope"), std::invalid_argument);
+}
+
+TEST(Checker, EnumKindsResolveInBackendRegistry) {
+  // The enum is a shim over the registry: every kind except kPortfolio
+  // (which is a scheduler, not a backend) must name a registered backend.
+  for (const EngineKind k :
+       {EngineKind::kIc3Down, EngineKind::kIc3DownPl, EngineKind::kIc3Ctg,
+        EngineKind::kIc3CtgPl, EngineKind::kIc3Cav23, EngineKind::kPdr,
+        EngineKind::kBmc, EngineKind::kKinduction}) {
+    EXPECT_TRUE(engine::backend_registered(to_string(k))) << to_string(k);
+  }
+}
+
+TEST(Checker, EngineSpecOverridesEnum) {
+  // engine_spec takes precedence over the enum: the enum says BMC (cannot
+  // prove safety), the spec says k-induction (can).
+  const auto cc = circuits::shift_register(5, true);
+  CheckOptions opts;
+  opts.engine = EngineKind::kBmc;
+  opts.engine_spec = "kind";
+  opts.budget_ms = 30000;
+  EXPECT_EQ(check_aig(cc.aig, opts).verdict, ic3::Verdict::kSafe);
 }
 
 TEST(Checker, PaperConfigurationsMatchTable1Order) {

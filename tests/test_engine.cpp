@@ -3,6 +3,8 @@
 /// handling, and configuration knobs.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "circuits/families.hpp"
 #include "ic3/engine.hpp"
 #include "ts/transition_system.hpp"
@@ -125,6 +127,64 @@ TEST(Engine, DeadlineProducesUnknown) {
   const auto cc = circuits::ring_parity_safe(14);
   const Result r = run(cc, Config{}, Deadline::in_milliseconds(1));
   EXPECT_EQ(r.verdict, Verdict::kUnknown);
+}
+
+TEST(Engine, NoObligationStateSurvivesAnyVerdict) {
+  // pending_obligations() must be 0 after every check(), including UNSAFE
+  // runs whose counterexample chase leaves re-enqueued obligations behind.
+  {
+    const auto cc = circuits::counter_unsafe(6, 10);
+    const ts::TransitionSystem ts = ts::TransitionSystem::from_aig(cc.aig);
+    Engine engine(ts, {});
+    EXPECT_EQ(engine.check().verdict, Verdict::kUnsafe);
+    EXPECT_EQ(engine.pending_obligations(), 0u);
+  }
+  {
+    const auto cc = circuits::token_ring_safe(5);
+    const ts::TransitionSystem ts = ts::TransitionSystem::from_aig(cc.aig);
+    Engine engine(ts, {});
+    EXPECT_EQ(engine.check().verdict, Verdict::kSafe);
+    EXPECT_EQ(engine.pending_obligations(), 0u);
+  }
+}
+
+TEST(Engine, PreCancelledRunReportsUnknownCleanly) {
+  // A stop requested before check() starts must yield UNKNOWN without any
+  // certificate and without dangling proof state.
+  const auto cc = circuits::counter_wrap_safe(12, 1024, 2048);
+  const ts::TransitionSystem ts = ts::TransitionSystem::from_aig(cc.aig);
+  Engine engine(ts, {});
+  CancelToken cancel;
+  cancel.request_stop();
+  const Result r = engine.check({}, &cancel);
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_FALSE(r.invariant.has_value());
+  EXPECT_EQ(engine.pending_obligations(), 0u);
+}
+
+TEST(Engine, CancellationMidRunLeavesNoDanglingObligations) {
+  // This instance needs several seconds unconstrained; a stop request a few
+  // milliseconds in must abort it with UNKNOWN, the partial statistics, and
+  // an empty obligation queue — the contract the portfolio relies on.
+  const auto cc = circuits::counter_wrap_safe(12, 1024, 2048);
+  const ts::TransitionSystem ts = ts::TransitionSystem::from_aig(cc.aig);
+  Engine engine(ts, {});
+  CancelToken cancel;
+  std::thread stopper([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    cancel.request_stop();
+  });
+  const Result r = engine.check({}, &cancel);
+  stopper.join();
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_FALSE(r.invariant.has_value());
+  EXPECT_EQ(engine.pending_obligations(), 0u);
+  // Partial statistics from the aborted run are still reported.  (No
+  // assertion on obligation counts: how far the engine got in 30 ms is
+  // scheduler- and sanitizer-dependent.)
+  EXPECT_GT(r.stats.time_total, 0.0);
 }
 
 TEST(Engine, PredictionStatisticsAreConsistent) {

@@ -49,6 +49,27 @@ TEST(Integration, BmcAgreesWithIc3OnUnsafeCases) {
   EXPECT_GT(bmc_unsafe, 0);
 }
 
+TEST(Integration, PortfolioRowSolvesTheTinySuite) {
+  // The kPortfolio compatibility row drives the first-verdict-wins
+  // scheduler through the same strict soundness gate as the single
+  // engines; every tiny-suite case is solvable by at least one backend of
+  // the default mix.
+  const auto cases = circuits::make_suite(circuits::SuiteSize::kTiny);
+  RunMatrixOptions options;
+  options.budget_ms = 10000;
+  options.strict = true;
+  options.jobs = 2;  // each job spawns its own backend race; stay bounded
+  const std::vector<EngineKind> engines{EngineKind::kPortfolio};
+  const auto records = run_matrix(cases, engines, options);
+  EXPECT_EQ(records.size(), cases.size());
+  std::size_t solved = 0;
+  for (const auto& r : records) {
+    EXPECT_EQ(r.engine, EngineKind::kPortfolio);
+    if (r.solved) ++solved;
+  }
+  EXPECT_EQ(solved, records.size());
+}
+
 TEST(Integration, KinductionProofsAreConsistent) {
   const auto cases = circuits::make_suite(circuits::SuiteSize::kTiny);
   RunMatrixOptions options;

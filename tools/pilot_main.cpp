@@ -21,6 +21,7 @@
 #include "aig/aiger_io.hpp"
 #include "check/checker.hpp"
 #include "circuits/families.hpp"
+#include "engine/backend.hpp"
 #include "ic3/witness.hpp"
 #include "ts/transition_system.hpp"
 #include "util/options.hpp"
@@ -122,10 +123,13 @@ int main(int argc, char** argv) {
       "usage: pilot [options] <model.aag|model.aig>\n"
       "   or: pilot --gen FAMILY [--gen-out FILE] [options]\n"
       "exit codes: 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 3 = error");
-  parser.add_choice("engine", &engine,
-                    {"ic3-down", "ic3-down-pl", "ic3-ctg", "ic3-ctg-pl",
-                     "ic3-cav23", "pdr", "bmc", "kind"},
-                    "engine configuration (-pl = predicted lemmas)");
+  std::string engine_help = "engine configuration (-pl = predicted lemmas):";
+  for (const std::string& name : engine::backend_names()) {
+    engine_help += " " + name;
+  }
+  engine_help +=
+      "; or portfolio[:a+b+c] to race several backends, first verdict wins";
+  parser.add_string("engine", &engine, engine_help);
   parser.add_int("budget-ms", &budget_ms, "wall-clock budget, 0 = unlimited");
   parser.add_int("seed", &seed, "engine randomization seed");
   parser.add_int("property", &property, "property index (bad array / output)");
@@ -201,7 +205,7 @@ int main(int argc, char** argv) {
                  model.constraints().size());
 
     check::CheckOptions opts;
-    opts.engine = check::engine_kind_from_string(engine);
+    opts.engine_spec = engine;  // resolved against the backend registry
     opts.budget_ms = budget_ms;
     opts.seed = static_cast<std::uint64_t>(seed);
     opts.property_index = static_cast<std::size_t>(property);
@@ -223,6 +227,16 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "[pilot] %.3fs, frames=%zu%s\n", r.seconds, r.frames,
                  r.witness_checked ? ", witness verified" : "");
+    if (!r.backend_timings.empty()) {
+      std::fprintf(stderr, "[pilot] portfolio winner: %s\n",
+                   r.winner.empty() ? "(none)" : r.winner.c_str());
+      for (const engine::BackendTiming& t : r.backend_timings) {
+        std::fprintf(stderr, "[pilot]   %-12s %-7s %8.3fs%s\n", t.name.c_str(),
+                     ic3::to_string(t.verdict), t.seconds,
+                     t.winner ? "  << winner" : (t.cancelled ? "  (cancelled)"
+                                                             : ""));
+      }
+    }
     if (!r.witness_error.empty()) {
       std::fprintf(stderr, "[pilot] WITNESS ERROR: %s\n",
                    r.witness_error.c_str());
