@@ -7,6 +7,7 @@
 ///   D. core-shrinking validated predictions vs taking them verbatim
 /// Each variant runs the suite on top of the IC3ref-style (ctg) baseline.
 #include "bench/bench_common.hpp"
+#include "engine/backend.hpp"
 
 using namespace pilot;
 using namespace pilot::bench;
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  ic3::Config base = check::config_for(check::EngineKind::kIc3CtgPl, args.seed);
+  ic3::Config base = engine::ic3_config_for("ic3-ctg-pl", args.seed);
   std::vector<Variant> variants;
   variants.push_back({"pl (paper)", base});
   {
@@ -65,9 +66,8 @@ int main(int argc, char** argv) {
     options.jobs = static_cast<std::size_t>(args.jobs);
     options.seed = args.seed;
 
-    // run_matrix drives engines via EngineKind; apply overrides per call.
-    std::vector<check::RunRecord> records;
-    records.reserve(cases.size());
+    // Overrides vary per variant, so drive check_aig per case instead of
+    // run_matrix.
     int solved = 0;
     double sum_lp = 0.0;
     double sum_fp = 0.0;
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
     int counted = 0;
     for (const auto& cc : cases) {
       check::CheckOptions co;
-      co.engine = check::EngineKind::kIc3CtgPl;
+      co.engine_spec = "ic3-ctg-pl";
       co.budget_ms = args.budget_ms;
       co.seed = args.seed;
       co.ic3_overrides = v.cfg;

@@ -34,15 +34,15 @@ int main(int argc, char** argv) {
   points_ms.push_back(static_cast<double>(args.budget_ms));
 
   std::printf("%-14s", "time-limit-ms");
-  for (const check::EngineKind kind : check::paper_configurations()) {
-    std::printf(" %12s", paper_label(kind));
+  for (const std::string& spec : check::paper_configurations()) {
+    std::printf(" %12s", paper_label(spec).c_str());
   }
   std::printf("\n");
   for (const double t : points_ms) {
     std::printf("%-14.0f", t);
-    for (const check::EngineKind kind : check::paper_configurations()) {
+    for (const std::string& spec : check::paper_configurations()) {
       int solved = 0;
-      for (const auto& r : groups.at(kind)) {
+      for (const auto& r : groups.at(spec)) {
         if (r.solved && r.seconds * 1000.0 <= t) ++solved;
       }
       std::printf(" %12d", solved);

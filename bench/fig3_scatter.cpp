@@ -49,9 +49,8 @@ int main(int argc, char** argv) {
                         &args)) {
     return 1;
   }
-  const std::vector<check::EngineKind> engines{
-      check::EngineKind::kIc3Down, check::EngineKind::kIc3DownPl,
-      check::EngineKind::kIc3Ctg, check::EngineKind::kIc3CtgPl};
+  const std::vector<std::string> engines{"ic3-down", "ic3-down-pl",
+                                         "ic3-ctg", "ic3-ctg-pl"};
   const auto records = run_suite(args, engines);
   const auto groups = by_engine(records);
   const double budget_seconds =
@@ -59,10 +58,10 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 3: scatter data (timeouts plotted at %.1fs)\n\n",
               budget_seconds);
-  scatter_block("RIC3 vs RIC3-pl", groups.at(check::EngineKind::kIc3Down),
-                groups.at(check::EngineKind::kIc3DownPl), budget_seconds);
-  scatter_block("IC3ref vs IC3ref-pl", groups.at(check::EngineKind::kIc3Ctg),
-                groups.at(check::EngineKind::kIc3CtgPl), budget_seconds);
+  scatter_block("RIC3 vs RIC3-pl", groups.at("ic3-down"),
+                groups.at("ic3-down-pl"), budget_seconds);
+  scatter_block("IC3ref vs IC3ref-pl", groups.at("ic3-ctg"),
+                groups.at("ic3-ctg-pl"), budget_seconds);
   std::printf(
       "Shape check vs paper: more points below the diagonal than above on\n"
       "the non-trivial cases — prediction pays for its extra queries.\n");

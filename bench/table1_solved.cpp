@@ -26,18 +26,18 @@ int main(int argc, char** argv) {
               total, static_cast<long long>(args.budget_ms));
   std::printf("%-14s %8s %8s %8s\n", "Configuration", "Solved", "Safe",
               "Unsafe");
-  for (const check::EngineKind kind : check::paper_configurations()) {
+  for (const std::string& spec : check::paper_configurations()) {
     int solved = 0;
     int safe = 0;
     int unsafe = 0;
-    for (const auto& r : groups.at(kind)) {
+    for (const auto& r : groups.at(spec)) {
       if (!r.solved) continue;
       ++solved;
       if (r.verdict == ic3::Verdict::kSafe) ++safe;
       if (r.verdict == ic3::Verdict::kUnsafe) ++unsafe;
     }
-    std::printf("%-14s %8d %8d %8d\n", paper_label(kind), solved, safe,
-                unsafe);
+    std::printf("%-14s %8d %8d %8d\n", paper_label(spec).c_str(), solved,
+                safe, unsafe);
   }
   std::printf(
       "\nShape check vs paper: each -pl row should solve >= its baseline\n"

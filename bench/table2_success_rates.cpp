@@ -22,8 +22,7 @@ int main(int argc, char** argv) {
                         &args)) {
     return 1;
   }
-  const std::vector<check::EngineKind> engines{
-      check::EngineKind::kIc3DownPl, check::EngineKind::kIc3CtgPl};
+  const std::vector<std::string> engines{"ic3-down-pl", "ic3-ctg-pl"};
   const auto records = run_suite(args, engines);
   const auto groups = by_engine(records);
 
@@ -31,12 +30,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(args.budget_ms));
   std::printf("%-14s %12s %12s %12s %10s\n", "Configuration", "Avg SR_lp",
               "Avg SR_fp", "Avg SR_adv", "cases");
-  for (const check::EngineKind kind : engines) {
+  for (const std::string& spec : engines) {
     double sum_lp = 0.0;
     double sum_fp = 0.0;
     double sum_adv = 0.0;
     int counted = 0;
-    for (const auto& r : groups.at(kind)) {
+    for (const auto& r : groups.at(spec)) {
       if (r.stats.num_generalizations == 0) continue;
       sum_lp += r.stats.sr_lp();
       sum_fp += r.stats.sr_fp();
@@ -44,9 +43,10 @@ int main(int argc, char** argv) {
       ++counted;
     }
     if (counted == 0) counted = 1;
-    std::printf("%-14s %11.2f%% %11.2f%% %11.2f%% %10d\n", paper_label(kind),
-                100.0 * sum_lp / counted, 100.0 * sum_fp / counted,
-                100.0 * sum_adv / counted, counted);
+    std::printf("%-14s %11.2f%% %11.2f%% %11.2f%% %10d\n",
+                paper_label(spec).c_str(), 100.0 * sum_lp / counted,
+                100.0 * sum_fp / counted, 100.0 * sum_adv / counted,
+                counted);
   }
   std::printf(
       "\nShape check vs paper: SR_fp > SR_lp > SR_adv in rough magnitude\n"

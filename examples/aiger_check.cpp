@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
                  model.bads().size(), model.constraints().size());
 
     check::CheckOptions opts;
-    opts.engine = check::engine_kind_from_string(engine);
+    opts.engine_spec = engine;  // resolved against the backend registry
     opts.budget_ms = budget_ms;
     opts.property_index = static_cast<std::size_t>(property);
     opts.verify_witness = verify_witness;

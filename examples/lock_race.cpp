@@ -51,9 +51,9 @@ int main(int argc, char** argv) {
   std::printf("%-14s-+-%-22s-+-%-22s\n", "--------------",
               "----------------------", "----------------------");
 
-  for (const check::EngineKind kind : check::paper_configurations()) {
+  for (const std::string& spec : check::paper_configurations()) {
     check::CheckOptions opts;
-    opts.engine = kind;
+    opts.engine_spec = spec;
     opts.budget_ms = budget_ms;
 
     const check::CheckResult ru = check::check_aig(unsafe_lock.aig, opts);
@@ -69,8 +69,8 @@ int main(int argc, char** argv) {
       }
       return std::string(buf);
     };
-    std::printf("%-14s | %-22s | %-22s\n", check::to_string(kind),
-                cell(ru).c_str(), cell(rs).c_str());
+    std::printf("%-14s | %-22s | %-22s\n", spec.c_str(), cell(ru).c_str(),
+                cell(rs).c_str());
     if (ru.stats.num_prediction_queries + rs.stats.num_prediction_queries >
         0) {
       std::printf("%-14s |   SR_lp=%5.1f%%  SR_fp=%5.1f%%  SR_adv=%5.1f%% "

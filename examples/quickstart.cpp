@@ -64,10 +64,10 @@ int main() {
   const aig::Aig safe = make_safe_counter();
   {
     check::CheckOptions opts;
-    opts.engine = check::EngineKind::kIc3Ctg;  // IC3ref-style baseline
+    opts.engine_spec = "ic3-ctg";  // IC3ref-style baseline
     report("safe counter, ic3-ctg", check::check_aig(safe, opts));
 
-    opts.engine = check::EngineKind::kIc3CtgPl;  // + predicting lemmas
+    opts.engine_spec = "ic3-ctg-pl";  // + predicting lemmas
     report("safe counter, ic3-ctg-pl", check::check_aig(safe, opts));
   }
 
@@ -75,12 +75,12 @@ int main() {
   const aig::Aig unsafe = make_unsafe_counter();
   {
     check::CheckOptions opts;
-    opts.engine = check::EngineKind::kIc3CtgPl;
+    opts.engine_spec = "ic3-ctg-pl";
     const check::CheckResult r = check::check_aig(unsafe, opts);
     report("unsafe counter, ic3-ctg-pl", r);
 
     // Cross-check with BMC: it must agree and report depth 200.
-    opts.engine = check::EngineKind::kBmc;
+    opts.engine_spec = "bmc";
     report("unsafe counter, bmc", check::check_aig(unsafe, opts));
   }
 

@@ -33,10 +33,9 @@ EngineKind engine_kind_from_string(const std::string& name) {
   throw std::invalid_argument("unknown engine '" + name + "'");
 }
 
-const std::vector<EngineKind>& paper_configurations() {
-  static const std::vector<EngineKind> kConfigs{
-      EngineKind::kIc3Down,  EngineKind::kIc3DownPl, EngineKind::kIc3Ctg,
-      EngineKind::kIc3CtgPl, EngineKind::kIc3Cav23,  EngineKind::kPdr,
+const std::vector<std::string>& paper_configurations() {
+  static const std::vector<std::string> kConfigs{
+      "ic3-down", "ic3-down-pl", "ic3-ctg", "ic3-ctg-pl", "ic3-cav23", "pdr",
   };
   return kConfigs;
 }
@@ -88,7 +87,7 @@ CheckResult run_portfolio_backends(const ts::TransitionSystem& ts,
   // every IC3-family backend would collapse the race into identical
   // configurations.  Overrides apply to single-engine specs only.
   engine::PortfolioResult pr =
-      engine::run_portfolio(ts, po, deadline_for(options));
+      engine::run_portfolio(ts, po, deadline_for(options), options.cancel);
   CheckResult out = certify(ts, std::move(pr.result), options);
   out.winner = std::move(pr.winner);
   out.backend_timings = std::move(pr.timings);
@@ -99,11 +98,7 @@ CheckResult run_portfolio_backends(const ts::TransitionSystem& ts,
 
 CheckResult check_ts(const ts::TransitionSystem& ts,
                      const CheckOptions& options) {
-  // All engine construction goes through the backend registry; the enum is
-  // only a naming shim.
-  const std::string spec =
-      options.engine_spec.empty() ? to_string(options.engine)
-                                  : options.engine_spec;
+  const std::string& spec = options.engine_spec;
   if (spec == "portfolio") {
     return run_portfolio_backends(ts, {}, options);  // default backend mix
   }
@@ -123,7 +118,7 @@ CheckResult check_ts(const ts::TransitionSystem& ts,
   const std::unique_ptr<engine::Backend> backend =
       engine::make_backend(spec, ts, ctx);
   engine::EngineResult r =
-      backend->check(deadline_for(options), /*cancel=*/nullptr);
+      backend->check(deadline_for(options), options.cancel);
   return certify(ts, std::move(r), options);
 }
 

@@ -2,17 +2,18 @@
 /// Unified model-checking front door: pick an engine configuration (or a
 /// portfolio of them), get a verdict with a certified witness.
 ///
-/// Engine construction and dispatch go through the engine::Backend registry
-/// (engine/backend.hpp); the `EngineKind` enum survives only as a thin
-/// compatibility shim for the batch runner and the bench harnesses, mapping
-/// 1:1 onto registry names via to_string().
+/// Engine selection is a registry `engine_spec` string resolved through
+/// engine::Backend (engine/backend.hpp): any registered backend name, or
+/// "portfolio[:a+b+c]" for a first-verdict-wins race.  The `EngineKind`
+/// enum survives only as a thin CLI-facing shim mapping 1:1 onto registry
+/// names via to_string(); nothing below the CLI dispatches on it.
 ///
-/// The six configurations evaluated in the paper map onto EngineKind as
-/// follows (DESIGN.md §2):
-///   RIC3         → kIc3Down       RIC3-pl      → kIc3DownPl
-///   IC3ref       → kIc3Ctg        IC3ref-pl    → kIc3CtgPl
-///   IC3ref-CAV23 → kIc3Cav23      ABC-PDR      → kPdr
-/// plus the kBmc / kKinduction baselines for cross-checking and kPortfolio,
+/// The six configurations evaluated in the paper map onto specs as follows
+/// (DESIGN.md §2):
+///   RIC3         → "ic3-down"     RIC3-pl      → "ic3-down-pl"
+///   IC3ref       → "ic3-ctg"      IC3ref-pl    → "ic3-ctg-pl"
+///   IC3ref-CAV23 → "ic3-cav23"    ABC-PDR      → "pdr"
+/// plus the "bmc" / "kind" baselines for cross-checking and "portfolio",
 /// which races several backends and takes the first verdict.
 #pragma once
 
@@ -25,10 +26,12 @@
 #include "engine/portfolio.hpp"
 #include "ic3/engine.hpp"
 #include "ts/transition_system.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace pilot::check {
 
+/// CLI-facing shim over the registry names; see the file comment.
 enum class EngineKind {
   kIc3Down,
   kIc3DownPl,
@@ -44,20 +47,21 @@ enum class EngineKind {
 [[nodiscard]] const char* to_string(EngineKind kind);
 [[nodiscard]] EngineKind engine_kind_from_string(const std::string& name);
 
-/// All paper configurations, in Table 1 order.
-[[nodiscard]] const std::vector<EngineKind>& paper_configurations();
+/// All paper configurations as registry specs, in Table 1 order.
+[[nodiscard]] const std::vector<std::string>& paper_configurations();
 
 struct CheckOptions {
-  EngineKind engine = EngineKind::kIc3Ctg;
-  /// Engine selector by registry name; overrides `engine` when non-empty.
-  /// Accepts any registered backend name plus "portfolio" or
-  /// "portfolio:a+b+c" (a "+"-separated backend list).
-  std::string engine_spec;
+  /// Engine selector by registry name.  Accepts any registered backend name
+  /// plus "portfolio" or "portfolio:a+b+c" (a "+"-separated backend list).
+  std::string engine_spec = "ic3-ctg";
   std::int64_t budget_ms = 0;  // 0 = unlimited
   std::uint64_t seed = 0;
   std::size_t property_index = 0;
   /// Certify witnesses (trace replay / invariant re-check) after solving.
   bool verify_witness = true;
+  /// External abort (nullable): the engine observes the token at its next
+  /// deadline poll and returns kUnknown.  Must outlive the check call.
+  const CancelToken* cancel = nullptr;
   /// Extra IC3 knobs forwarded verbatim (ablations).  Single-engine specs
   /// only: portfolio races keep each backend's own configuration (use
   /// engine::PortfolioOptions directly to override a whole race).

@@ -1,74 +1,148 @@
 #include "check/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 
-#include "util/log.hpp"
+#include "engine/backend.hpp"
+#include "engine/portfolio.hpp"
 
 namespace pilot::check {
 
-std::vector<RunRecord> run_matrix(
-    const std::vector<circuits::CircuitCase>& cases,
-    const std::vector<EngineKind>& engines,
-    const RunMatrixOptions& options) {
+namespace {
+
+/// Validates an engine spec against the registry before any thread spawns,
+/// so a typo fails fast instead of mid-campaign.
+void validate_engine_spec(const std::string& spec) {
+  if (spec == "portfolio") return;
+  constexpr const char* kPrefix = "portfolio:";
+  if (spec.rfind(kPrefix, 0) == 0) {
+    (void)engine::parse_portfolio_spec(spec.substr(10));  // throws if bad
+    return;
+  }
+  if (!engine::backend_registered(spec)) {
+    throw std::invalid_argument("run_matrix: unknown engine spec '" + spec +
+                                "'");
+  }
+}
+
+/// Per-case lazily materialized circuit, shared by all engine jobs of the
+/// case so an on-disk AIGER file is parsed once, not once per engine.
+struct LoadedCase {
+  std::once_flag once;
+  std::optional<aig::Aig> aig;
+  std::string error;
+};
+
+}  // namespace
+
+std::vector<RunRecord> run_matrix(const std::vector<corpus::Case>& cases,
+                                  const std::vector<std::string>& engines,
+                                  const RunMatrixOptions& options) {
+  for (const std::string& spec : engines) validate_engine_spec(spec);
+
   struct Job {
     std::size_t case_index;
-    EngineKind engine;
+    std::size_t engine_index;
   };
   std::vector<Job> jobs;
   jobs.reserve(cases.size() * engines.size());
   for (std::size_t c = 0; c < cases.size(); ++c) {
-    for (const EngineKind e : engines) jobs.push_back(Job{c, e});
+    for (std::size_t e = 0; e < engines.size(); ++e) jobs.push_back({c, e});
   }
 
+  // Largest-case-first (LPT) dispatch order: heterogeneous corpora mix
+  // second-long and budget-long cases, and starting the big ones early
+  // keeps every worker busy instead of leaving one thread grinding a giant
+  // case after the rest of the queue drained.  `order` only permutes
+  // dispatch; records keep the case-major job index, so output order is
+  // deterministic and scheduler-independent.
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cases[jobs[a].case_index].size_estimate >
+                            cases[jobs[b].case_index].size_estimate;
+                   });
+
+  std::vector<LoadedCase> loaded(cases.size());
   std::vector<RunRecord> records(jobs.size());
   std::atomic<std::size_t> next{0};
   std::atomic<bool> soundness_violated{false};
 
   auto worker = [&]() {
     for (;;) {
-      const std::size_t j = next.fetch_add(1);
-      if (j >= jobs.size()) return;
+      const std::size_t slot = next.fetch_add(1);
+      if (slot >= jobs.size()) return;
+      const std::size_t j = order[slot];
       const Job& job = jobs[j];
-      const circuits::CircuitCase& cc = cases[job.case_index];
-
-      CheckOptions co;
-      co.engine = job.engine;
-      co.budget_ms = options.budget_ms;
-      co.seed = options.seed;
-      co.verify_witness = options.verify_witness;
-      const CheckResult res = check_aig(cc.aig, co);
+      const corpus::Case& cc = cases[job.case_index];
+      const std::string& spec = engines[job.engine_index];
 
       RunRecord rec;
       rec.case_name = cc.name;
       rec.family = cc.family;
-      rec.engine = job.engine;
-      rec.expected_safe = cc.expected_safe;
+      rec.tags = cc.tags;
+      rec.engine = spec;
+      rec.expected = cc.expected;
+
+      if (options.cancel != nullptr && options.cancel->stop_requested()) {
+        records[j] = std::move(rec);  // aborted: kUnknown, zero time
+        continue;
+      }
+
+      LoadedCase& lc = loaded[job.case_index];
+      std::call_once(lc.once, [&]() {
+        try {
+          lc.aig = cc.load();
+        } catch (const std::exception& e) {
+          lc.error = e.what();
+        }
+      });
+      if (!lc.aig.has_value()) {
+        rec.error = lc.error;
+        records[j] = std::move(rec);
+        continue;
+      }
+
+      CheckOptions co;
+      co.engine_spec = spec;
+      co.budget_ms = options.budget_ms;
+      co.seed = options.seed;
+      co.verify_witness = options.verify_witness;
+      co.cancel = options.cancel;
+      const CheckResult res = check_aig(*lc.aig, co);
+
       rec.verdict = res.verdict;
       rec.solved = res.verdict != ic3::Verdict::kUnknown;
       rec.seconds = res.seconds;
       rec.frames = res.frames;
       rec.stats = res.stats;
 
-      if (rec.solved) {
-        const bool got_safe = res.verdict == ic3::Verdict::kSafe;
-        if (got_safe != cc.expected_safe) {
+      if (rec.solved && cc.expected != corpus::Expected::kUnknown) {
+        const corpus::Expected got =
+            corpus::expected_from_safe(res.verdict == ic3::Verdict::kSafe);
+        if (got != cc.expected) {
           std::fprintf(stderr,
                        "SOUNDNESS VIOLATION: %s with %s reported %s but the "
-                       "construction guarantees %s\n",
-                       cc.name.c_str(), to_string(job.engine),
+                       "case is expected %s\n",
+                       cc.name.c_str(), spec.c_str(),
                        ic3::to_string(res.verdict),
-                       cc.expected_safe ? "SAFE" : "UNSAFE");
+                       corpus::to_string(cc.expected));
           soundness_violated.store(true);
         }
-        if (options.verify_witness && !res.witness_error.empty()) {
-          std::fprintf(stderr, "WITNESS CHECK FAILED: %s with %s: %s\n",
-                       cc.name.c_str(), to_string(job.engine),
-                       res.witness_error.c_str());
-          soundness_violated.store(true);
-        }
+      }
+      if (rec.solved && options.verify_witness && !res.witness_error.empty()) {
+        std::fprintf(stderr, "WITNESS CHECK FAILED: %s with %s: %s\n",
+                     cc.name.c_str(), spec.c_str(),
+                     res.witness_error.c_str());
+        soundness_violated.store(true);
       }
       records[j] = std::move(rec);
     }
@@ -93,6 +167,18 @@ std::vector<RunRecord> run_matrix(
     std::abort();
   }
   return records;
+}
+
+std::vector<RunRecord> run_matrix(
+    const std::vector<circuits::CircuitCase>& cases,
+    const std::vector<std::string>& engines,
+    const RunMatrixOptions& options) {
+  std::vector<corpus::Case> converted;
+  converted.reserve(cases.size());
+  for (const circuits::CircuitCase& cc : cases) {
+    converted.push_back(corpus::from_circuit(cc));
+  }
+  return run_matrix(converted, engines, options);
 }
 
 }  // namespace pilot::check

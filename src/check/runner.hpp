@@ -1,11 +1,19 @@
 /// \file runner.hpp
-/// Batch experiment runner: (benchmark case × engine configuration) matrix
-/// with per-case wall-clock budgets, optional thread-level parallelism, and
-/// a hard soundness gate (a solved verdict that contradicts the case's
-/// known construction aborts the run).
+/// Batch experiment runner: (benchmark case × engine spec) matrix with
+/// per-case wall-clock budgets, thread-level parallelism, cooperative
+/// cancellation, and a hard soundness gate (a solved verdict that
+/// contradicts the case's expected status aborts the run).
 ///
-/// The bench harness binaries (Table 1/2, Figures 2/3/4) are thin
-/// aggregations over the RunRecord rows this produces.
+/// Cases come from the corpus layer (corpus/corpus.hpp), which unifies the
+/// synthetic `circuits::` families and on-disk AIGER corpora; engines are
+/// registry `engine_spec` strings (any backend name, or
+/// "portfolio[:a+b+c]").  The scheduler orders jobs largest-case-first so
+/// heterogeneous corpora keep every worker busy, but records are returned
+/// in deterministic case-major order regardless.
+///
+/// The bench harness binaries (Table 1/2, Figures 2/3/4) and the
+/// `pilot-bench` campaign runner are thin aggregations over the RunRecord
+/// rows this produces; corpus::ResultsDb persists them as JSONL.
 #pragma once
 
 #include <string>
@@ -13,18 +21,26 @@
 
 #include "check/checker.hpp"
 #include "circuits/suite.hpp"
+#include "corpus/corpus.hpp"
+#include "util/cancel.hpp"
 
 namespace pilot::check {
 
 struct RunRecord {
   std::string case_name;
   std::string family;
-  EngineKind engine = EngineKind::kIc3Ctg;
-  bool expected_safe = false;
+  std::vector<std::string> tags;
+  /// Registry engine spec that produced this record ("ic3-ctg-pl",
+  /// "portfolio:bmc+kind", ...).
+  std::string engine;
+  corpus::Expected expected = corpus::Expected::kUnknown;
   ic3::Verdict verdict = ic3::Verdict::kUnknown;
   bool solved = false;
   double seconds = 0.0;
   std::size_t frames = 0;
+  /// Non-empty when the case failed to load (missing/malformed AIGER) —
+  /// the verdict stays kUnknown and no engine ran.
+  std::string error;
   ic3::Ic3Stats stats;
 };
 
@@ -34,14 +50,26 @@ struct RunMatrixOptions {
   /// Worker threads; 0 = hardware concurrency.
   std::size_t jobs = 0;
   bool verify_witness = true;
-  /// Abort on verdict/expectation mismatch (soundness gate).
+  /// Abort on verdict/expectation mismatch (soundness gate).  Cases with
+  /// expected == kUnknown are exempt.
   bool strict = true;
+  /// External abort (nullable): remaining jobs return immediately with
+  /// kUnknown records once the token stops; the running engines observe it
+  /// at their next deadline poll.
+  const CancelToken* cancel = nullptr;
 };
 
-/// Runs every (case, engine) pair and returns one record per pair,
-/// in deterministic (case-major) order.
+/// Runs every (case, engine) pair and returns one record per pair, in
+/// deterministic case-major order.  Engine specs are validated against the
+/// backend registry up front; an unknown spec throws std::invalid_argument
+/// before any work starts.
+std::vector<RunRecord> run_matrix(const std::vector<corpus::Case>& cases,
+                                  const std::vector<std::string>& engines,
+                                  const RunMatrixOptions& options);
+
+/// Convenience overload for the synthetic families.
 std::vector<RunRecord> run_matrix(const std::vector<circuits::CircuitCase>& cases,
-                                  const std::vector<EngineKind>& engines,
+                                  const std::vector<std::string>& engines,
                                   const RunMatrixOptions& options);
 
 }  // namespace pilot::check

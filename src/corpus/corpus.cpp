@@ -1,0 +1,64 @@
+#include "corpus/corpus.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "corpus/manifest.hpp"
+
+namespace pilot::corpus {
+
+const char* to_string(Expected e) {
+  switch (e) {
+    case Expected::kSafe: return "safe";
+    case Expected::kUnsafe: return "unsafe";
+    case Expected::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+Expected expected_from_string(const std::string& text) {
+  if (text == "safe" || text == "unsat") return Expected::kSafe;
+  if (text == "unsafe" || text == "sat") return Expected::kUnsafe;
+  if (text == "unknown" || text.empty()) return Expected::kUnknown;
+  throw std::invalid_argument("corpus: unknown expected status '" + text +
+                              "'");
+}
+
+Case from_circuit(circuits::CircuitCase cc) {
+  Case out;
+  out.name = std::move(cc.name);
+  out.family = std::move(cc.family);
+  out.expected = expected_from_safe(cc.expected_safe);
+  out.expected_cex_length = cc.expected_cex_length;
+  out.num_inputs = cc.aig.num_inputs();
+  out.num_latches = cc.aig.num_latches();
+  out.num_ands = cc.aig.num_ands();
+  out.size_estimate = out.num_ands + out.num_latches;
+  auto shared = std::make_shared<aig::Aig>(std::move(cc.aig));
+  out.load = [shared]() { return *shared; };
+  return out;
+}
+
+std::vector<Case> suite_cases(circuits::SuiteSize size) {
+  std::vector<circuits::CircuitCase> circuits = circuits::make_suite(size);
+  std::vector<Case> out;
+  out.reserve(circuits.size());
+  for (auto& cc : circuits) out.push_back(from_circuit(std::move(cc)));
+  return out;
+}
+
+std::vector<Case> resolve_corpus(const std::string& spec) {
+  constexpr const char* kSuitePrefix = "suite:";
+  if (spec.rfind(kSuitePrefix, 0) == 0) {
+    return suite_cases(
+        circuits::suite_size_from_string(spec.substr(6)));
+  }
+  ScanReport report = load_corpus(spec);
+  if (!report.errors.empty() && report.cases.empty()) {
+    throw std::runtime_error("corpus '" + spec + "': " + report.errors[0]);
+  }
+  return std::move(report.cases);
+}
+
+}  // namespace pilot::corpus

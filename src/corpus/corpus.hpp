@@ -1,0 +1,74 @@
+/// \file corpus.hpp
+/// The unified benchmark-case abstraction: one interface over on-disk AIGER
+/// corpora (HWMCC-style directories, see manifest.hpp) and the synthetic
+/// `circuits::` families, so every consumer — the run-matrix scheduler, the
+/// bench harnesses, the `pilot-bench` campaign runner — speaks `Case`.
+///
+/// A Case is cheap to construct and to copy around job queues: the circuit
+/// itself is materialized lazily through `load()` (an in-memory AIG for
+/// synthetic cases, an AIGER parse for on-disk ones), and `size_estimate`
+/// carries the scheduling hint (AND + latch count) the runner uses to order
+/// heterogeneous jobs largest-first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "circuits/suite.hpp"
+
+namespace pilot::corpus {
+
+/// The manifest's expected verdict.  kUnknown disables the soundness gate
+/// for the case (typical for freshly ingested HWMCC directories).
+enum class Expected { kUnknown, kSafe, kUnsafe };
+
+[[nodiscard]] const char* to_string(Expected e);
+/// Parses "safe" / "unsafe" / "unknown" (also accepts "sat"/"unsat" HWMCC
+/// shorthand: "unsat" = safe, "sat" = unsafe).  Throws on anything else.
+[[nodiscard]] Expected expected_from_string(const std::string& text);
+[[nodiscard]] inline Expected expected_from_safe(bool safe) {
+  return safe ? Expected::kSafe : Expected::kUnsafe;
+}
+
+struct Case {
+  std::string name;
+  /// Synthetic family name, or "aiger" for on-disk cases.
+  std::string family;
+  std::vector<std::string> tags;
+  Expected expected = Expected::kUnknown;
+  /// Exact/minimum counterexample depth when known, -1 otherwise.
+  int expected_cex_length = -1;
+  /// Source file path; empty for synthetic cases.
+  std::string source;
+  /// AND + latch count — the job scheduler's size hint (0 = unknown).
+  std::size_t size_estimate = 0;
+  /// Parse metadata (filled by the manifest scanner; synthetic cases fill
+  /// them from the in-memory AIG).
+  std::size_t num_inputs = 0;
+  std::size_t num_latches = 0;
+  std::size_t num_ands = 0;
+  /// FNV-1a content hash of the AIGER file ("" for synthetic cases).
+  std::string content_hash;
+
+  /// Materializes the circuit.  Throws std::runtime_error when an on-disk
+  /// source is missing or malformed.
+  std::function<aig::Aig()> load;
+};
+
+/// Wraps a synthetic circuit case; the AIG is shared, not copied per call.
+[[nodiscard]] Case from_circuit(circuits::CircuitCase cc);
+
+/// The built-in suite as corpus cases (the bridge every consumer uses
+/// instead of touching circuits::make_suite directly).
+[[nodiscard]] std::vector<Case> suite_cases(circuits::SuiteSize size);
+
+/// "suite:tiny" / "suite:quick" / "suite:full" → the built-in suite; any
+/// other string is a manifest file or corpus directory resolved through
+/// manifest.hpp's load_corpus.  The uniform entry point behind
+/// `--corpus` flags.
+[[nodiscard]] std::vector<Case> resolve_corpus(const std::string& spec);
+
+}  // namespace pilot::corpus

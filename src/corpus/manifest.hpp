@@ -1,0 +1,87 @@
+/// \file manifest.hpp
+/// On-disk AIGER corpus ingestion: the manifest format, the directory
+/// scanner, and the parse-metadata cache.
+///
+/// A corpus is a directory of `.aig`/`.aag` files plus an optional
+/// `manifest.json` describing each case:
+///
+///   {"version": 1,
+///    "cases": [{"name": "ring7", "path": "ring7.aag", "expect": "safe",
+///               "tags": ["hwmcc17"], "cex_depth": -1}, ...]}
+///
+/// Without a manifest, every `.aig`/`.aag` file under the directory (sorted,
+/// non-recursive) becomes a case with expected status "unknown".  Each scan
+/// validates entries through the aig:: reader and records latch/AND/input
+/// counts plus an FNV-1a content hash into `.pilot-corpus-cache.json`
+/// beside the manifest, so re-scans of unchanged files (same size + mtime)
+/// skip the parse entirely — the property that makes repeated `pilot-bench`
+/// campaigns over a multi-hundred-case HWMCC checkout cheap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+namespace pilot::corpus {
+
+inline constexpr const char* kManifestFilename = "manifest.json";
+inline constexpr const char* kCacheFilename = ".pilot-corpus-cache.json";
+
+struct ManifestEntry {
+  std::string name;
+  std::string path;  // relative to the manifest's directory
+  Expected expected = Expected::kUnknown;
+  int cex_depth = -1;
+  std::vector<std::string> tags;
+};
+
+struct Manifest {
+  std::string root;  // directory all entry paths are relative to
+  std::vector<ManifestEntry> entries;
+};
+
+/// Outcome of materializing a manifest into runnable cases.
+struct ScanReport {
+  std::vector<Case> cases;
+  /// One "path: reason" line per entry that failed validation (missing
+  /// file, malformed AIGER); failed entries produce no Case.
+  std::vector<std::string> errors;
+  std::size_t parsed = 0;  // files (re)parsed during this scan
+  std::size_t cached = 0;  // files whose metadata came from the cache
+};
+
+/// Reads a manifest.json.  Throws std::runtime_error on unreadable or
+/// malformed files.
+[[nodiscard]] Manifest load_manifest(const std::string& path);
+
+/// Enumerates `.aig`/`.aag` files directly under `dir` (sorted by name)
+/// into a manifest with expected status kUnknown.  Throws when `dir` is not
+/// a directory.  The cache file and manifest.json itself are skipped.
+[[nodiscard]] Manifest scan_directory(const std::string& dir);
+
+/// Writes `manifest.entries` as manifest.json to `path`.
+void write_manifest(const Manifest& manifest, const std::string& path);
+
+/// Validates every entry through the AIGER reader, maintaining the
+/// parse-metadata cache under manifest.root (set `use_cache` false to force
+/// a full re-parse and skip the cache rewrite).
+[[nodiscard]] ScanReport load_cases(const Manifest& manifest,
+                                    bool use_cache = true);
+
+/// The `--corpus` entry point: `path` may be a manifest file or a corpus
+/// directory (manifest.json used when present, directory scan otherwise).
+[[nodiscard]] ScanReport load_corpus(const std::string& path);
+
+/// Exports the built-in suite as an on-disk corpus: one AIGER file per case
+/// (ASCII `.aag`, or binary `.aig` when `binary`) plus a manifest.json with
+/// the construction-guaranteed verdicts.  Returns the written manifest.
+Manifest export_suite(circuits::SuiteSize size, const std::string& dir,
+                      bool binary = false);
+
+/// 64-bit FNV-1a of `bytes`, rendered as 16 hex digits — the corpus
+/// content-hash function.
+[[nodiscard]] std::string fnv1a_hex(const std::string& bytes);
+
+}  // namespace pilot::corpus

@@ -1,0 +1,364 @@
+#include "corpus/results_db.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace pilot::corpus {
+
+namespace {
+
+json::Value stats_to_json(const ic3::Ic3Stats& s) {
+  json::Object o;
+  o["generalizations"] = s.num_generalizations;
+  o["prediction_queries"] = s.num_prediction_queries;
+  o["successful_predictions"] = s.num_successful_predictions;
+  o["found_failed_parents"] = s.num_found_failed_parents;
+  o["lemmas"] = s.num_lemmas;
+  o["obligations"] = s.num_obligations;
+  o["mic_queries"] = s.num_mic_queries;
+  o["push_queries"] = s.num_push_queries;
+  o["max_frame"] = s.max_frame;
+  return json::Value(std::move(o));
+}
+
+ic3::Ic3Stats stats_from_json(const json::Value& v) {
+  ic3::Ic3Stats s;
+  s.num_generalizations = v.at("generalizations").as_uint();
+  s.num_prediction_queries = v.at("prediction_queries").as_uint();
+  s.num_successful_predictions = v.at("successful_predictions").as_uint();
+  s.num_found_failed_parents = v.at("found_failed_parents").as_uint();
+  s.num_lemmas = v.at("lemmas").as_uint();
+  s.num_obligations = v.at("obligations").as_uint();
+  s.num_mic_queries = v.at("mic_queries").as_uint();
+  s.num_push_queries = v.at("push_queries").as_uint();
+  s.max_frame = v.at("max_frame").as_uint();
+  return s;
+}
+
+}  // namespace
+
+json::Value to_json(const RunRow& row) {
+  const check::RunRecord& r = row.record;
+  json::Object o;
+  o["case"] = r.case_name;
+  o["family"] = r.family;
+  json::Array tags;
+  for (const std::string& t : r.tags) tags.push_back(t);
+  o["tags"] = std::move(tags);
+  o["engine"] = r.engine;
+  o["expected"] = to_string(r.expected);
+  o["verdict"] = ic3::to_string(r.verdict);
+  o["solved"] = r.solved;
+  o["seconds"] = r.seconds;
+  o["frames"] = r.frames;
+  if (!r.error.empty()) o["error"] = r.error;
+  o["stats"] = stats_to_json(r.stats);
+  o["corpus"] = row.context.corpus;
+  o["commit"] = row.context.commit;
+  o["timestamp"] = row.context.timestamp;
+  o["budget_ms"] = row.context.budget_ms;
+  o["seed"] = row.context.seed;
+  return json::Value(std::move(o));
+}
+
+RunRow row_from_json(const json::Value& v) {
+  RunRow row;
+  check::RunRecord& r = row.record;
+  r.case_name = v.at("case").as_string();
+  r.engine = v.at("engine").as_string();
+  if (r.case_name.empty() || r.engine.empty()) {
+    throw std::runtime_error("results row missing \"case\" or \"engine\"");
+  }
+  r.family = v.at("family").as_string();
+  for (const json::Value& t : v.at("tags").as_array()) {
+    r.tags.push_back(t.as_string());
+  }
+  r.expected = expected_from_string(v.at("expected").as_string());
+  r.verdict = verdict_from_string(v.at("verdict").as_string());
+  r.solved = v.at("solved").as_bool();
+  r.seconds = v.at("seconds").as_double();
+  r.frames = v.at("frames").as_uint();
+  r.error = v.at("error").as_string();
+  r.stats = stats_from_json(v.at("stats"));
+  row.context.corpus = v.at("corpus").as_string();
+  row.context.commit = v.at("commit").as_string();
+  row.context.timestamp = v.at("timestamp").as_string();
+  row.context.budget_ms = v.at("budget_ms").as_int();
+  row.context.seed = v.at("seed").as_uint();
+  return row;
+}
+
+std::string now_utc_iso8601() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string campaign_commit() {
+  for (const char* var : {"PILOT_COMMIT", "GITHUB_SHA"}) {
+    const char* value = std::getenv(var);
+    if (value != nullptr && value[0] != '\0') return value;
+  }
+  return "";
+}
+
+ic3::Verdict verdict_from_string(const std::string& text) {
+  if (text == "SAFE") return ic3::Verdict::kSafe;
+  if (text == "UNSAFE") return ic3::Verdict::kUnsafe;
+  return ic3::Verdict::kUnknown;
+}
+
+RunContext make_run_context(std::string corpus, std::int64_t budget_ms,
+                            std::uint64_t seed) {
+  RunContext ctx;
+  ctx.corpus = std::move(corpus);
+  ctx.commit = campaign_commit();
+  ctx.timestamp = now_utc_iso8601();
+  ctx.budget_ms = budget_ms;
+  ctx.seed = seed;
+  return ctx;
+}
+
+bool record_mismatch(const check::RunRecord& record) {
+  return record.solved && record.expected != Expected::kUnknown &&
+         expected_from_safe(record.verdict == ic3::Verdict::kSafe) !=
+             record.expected;
+}
+
+CampaignSummary summarize_campaign(
+    const std::vector<check::RunRecord>& records) {
+  CampaignSummary s;
+  s.total = records.size();
+  for (const check::RunRecord& r : records) {
+    if (!r.error.empty()) {
+      ++s.errors;
+    } else if (r.solved) {
+      ++s.solved;
+      if (record_mismatch(r)) ++s.mismatches;
+    } else {
+      ++s.unknown;
+    }
+  }
+  return s;
+}
+
+ResultsDb ResultsDb::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("results db: cannot open " + path);
+  ResultsDb db;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Tolerate blank lines (e.g. from `cat`-merged files).
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      db.add(row_from_json(json::parse(line)));
+    } catch (const std::exception& e) {
+      throw std::runtime_error("results db " + path + ":" +
+                               std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return db;
+}
+
+void ResultsDb::merge(const ResultsDb& other) {
+  for (const RunRow& row : other.rows_) rows_.push_back(row);
+  dedup();
+}
+
+void ResultsDb::dedup() {
+  std::unordered_map<std::string, std::size_t> last;
+  for (std::size_t i = 0; i < rows_.size(); ++i) last[rows_[i].key()] = i;
+  std::vector<RunRow> kept;
+  kept.reserve(last.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (last.at(rows_[i].key()) == i) kept.push_back(std::move(rows_[i]));
+  }
+  rows_ = std::move(kept);
+}
+
+std::vector<RunRow> ResultsDb::query(const std::string& engine,
+                                     const std::string& case_substr) const {
+  std::vector<RunRow> out;
+  for (const RunRow& row : rows_) {
+    if (!engine.empty() && row.record.engine != engine) continue;
+    if (!case_substr.empty() &&
+        row.record.case_name.find(case_substr) == std::string::npos) {
+      continue;
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<std::string> ResultsDb::engines() const {
+  std::vector<std::string> out;
+  for (const RunRow& row : rows_) {
+    bool seen = false;
+    for (const std::string& e : out) {
+      if (e == row.record.engine) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(row.record.engine);
+  }
+  return out;
+}
+
+void ResultsDb::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("results db: cannot write " + path);
+  for (const RunRow& row : rows_) out << to_json(row).dump() << "\n";
+}
+
+ResultsDb::Writer::Writer(const std::string& path, bool truncate) {
+  if (path.empty()) {
+    stream_ = stdout;
+    owns_stream_ = false;
+    return;
+  }
+  stream_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (stream_ == nullptr) {
+    throw std::runtime_error("results db: cannot open " + path +
+                             " for writing");
+  }
+  owns_stream_ = true;
+}
+
+ResultsDb::Writer::~Writer() {
+  if (owns_stream_ && stream_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(stream_));
+  }
+}
+
+void ResultsDb::Writer::append(const RunRow& row) {
+  auto* f = static_cast<std::FILE*>(stream_);
+  const std::string line = to_json(row).dump();
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fputc('\n', f);
+  std::fflush(f);
+  ++rows_written_;
+}
+
+namespace {
+
+DiffEntry make_entry(const RunRow& base, const RunRow& cur) {
+  DiffEntry e;
+  e.case_name = base.record.case_name;
+  e.engine = base.record.engine;
+  e.base_verdict = base.record.verdict;
+  e.cur_verdict = cur.record.verdict;
+  e.base_seconds = base.record.seconds;
+  e.cur_seconds = cur.record.seconds;
+  return e;
+}
+
+void describe(std::ostringstream& out, const char* label,
+              const std::vector<DiffEntry>& entries, bool with_time) {
+  if (entries.empty()) return;
+  out << label << " (" << entries.size() << "):\n";
+  for (const DiffEntry& e : entries) {
+    out << "  " << e.case_name << " × " << e.engine << ": "
+        << ic3::to_string(e.base_verdict) << " -> "
+        << ic3::to_string(e.cur_verdict);
+    if (with_time) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "  (%.3fs -> %.3fs)", e.base_seconds,
+                    e.cur_seconds);
+      out << buf;
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace
+
+std::string DiffReport::summary(const DiffOptions& options) const {
+  std::ostringstream out;
+  describe(out, "VERDICT FLIPS — soundness alarm", verdict_flips, false);
+  describe(out, "newly unsolved", newly_unsolved, true);
+  describe(out, "time regressions", time_regressions, true);
+  describe(out, "newly solved", newly_solved, true);
+  if (!only_in_baseline.empty()) {
+    out << "only in baseline (" << only_in_baseline.size() << "):\n";
+    for (const std::string& k : only_in_baseline) out << "  " << k << "\n";
+  }
+  if (!only_in_current.empty()) {
+    out << "only in current (" << only_in_current.size() << "):\n";
+    for (const std::string& k : only_in_current) out << "  " << k << "\n";
+  }
+  if (out.str().empty()) out << "no differences\n";
+  out << (failed(options) ? "RESULT: REGRESSION" : "RESULT: OK") << "\n";
+  return out.str();
+}
+
+DiffReport diff_runs(const ResultsDb& baseline, const ResultsDb& current,
+                     const DiffOptions& options) {
+  ResultsDb base = baseline;
+  ResultsDb cur = current;
+  base.dedup();
+  cur.dedup();
+
+  std::unordered_map<std::string, const RunRow*> cur_by_key;
+  for (const RunRow& row : cur.rows()) cur_by_key[row.key()] = &row;
+
+  DiffReport report;
+  std::unordered_map<std::string, bool> base_keys;
+  for (const RunRow& b : base.rows()) {
+    base_keys[b.key()] = true;
+    const auto it = cur_by_key.find(b.key());
+    const std::string pretty = b.record.case_name + " × " + b.record.engine;
+    if (it == cur_by_key.end()) {
+      report.only_in_baseline.push_back(pretty);
+      continue;
+    }
+    const RunRow& c = *it->second;
+    const bool base_solved = b.record.solved;
+    const bool cur_solved = c.record.solved;
+    if (base_solved && cur_solved &&
+        b.record.verdict != c.record.verdict) {
+      report.verdict_flips.push_back(make_entry(b, c));
+      continue;
+    }
+    if (base_solved && !cur_solved) {
+      report.newly_unsolved.push_back(make_entry(b, c));
+      continue;
+    }
+    if (!base_solved && cur_solved) {
+      report.newly_solved.push_back(make_entry(b, c));
+      continue;
+    }
+    if (base_solved && cur_solved) {
+      const double slower = std::max(b.record.seconds, c.record.seconds);
+      if (slower >= options.min_seconds && b.record.seconds > 0.0 &&
+          c.record.seconds / b.record.seconds > options.time_ratio) {
+        report.time_regressions.push_back(make_entry(b, c));
+      }
+    }
+  }
+  for (const RunRow& c : cur.rows()) {
+    if (base_keys.find(c.key()) == base_keys.end()) {
+      report.only_in_current.push_back(c.record.case_name + " × " +
+                                       c.record.engine);
+    }
+  }
+  return report;
+}
+
+}  // namespace pilot::corpus

@@ -1,0 +1,91 @@
+# End-to-end smoke check for the `pilot-bench` campaign runner, driven by
+# CTest.
+#
+# Invocation (see tests/CMakeLists.txt):
+#   cmake -DPILOT_BENCH_BIN=<path> -DCORPUS_DIR=<tests/corpus>
+#         -DBASELINE=<committed baseline.jsonl> -DWORK_DIR=<scratch dir>
+#         -P run_bench_case.cmake
+#
+# Steps:
+#   1. `pilot-bench run --corpus CORPUS_DIR --engines ic3-ctg+bmc` into a
+#      fresh runs.jsonl — exercises manifest ingestion, the matrix runner,
+#      and the JSONL writer; must exit 0 (no expectation mismatches).
+#   2. `pilot-bench diff BASELINE runs.jsonl` — the fresh campaign against
+#      the committed baseline; verdicts are deterministic, so this must be
+#      clean (exit 0).
+#   3. `pilot-bench diff runs.jsonl` — single-file mode re-runs the campaign
+#      recorded in the rows and compares; identical re-run must exit 0.
+#   4. Inject a verdict flip (SAFE → UNSAFE) into a copy and diff again —
+#      must exit non-zero and name the flip.
+
+foreach(required PILOT_BENCH_BIN CORPUS_DIR BASELINE WORK_DIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "run_bench_case.cmake: missing -D${required}")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(runs "${WORK_DIR}/runs.jsonl")
+file(REMOVE "${runs}")
+
+# --- 1. run the campaign ------------------------------------------------------
+execute_process(
+  COMMAND "${PILOT_BENCH_BIN}" run --corpus "${CORPUS_DIR}"
+          --engines ic3-ctg+bmc --budget-ms 60000 --out "${runs}"
+  RESULT_VARIABLE run_rc
+  ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR
+    "pilot-bench run failed (exit ${run_rc}):\n${run_err}")
+endif()
+
+# --- 2. diff against the committed baseline -----------------------------------
+execute_process(
+  COMMAND "${PILOT_BENCH_BIN}" diff "${BASELINE}" "${runs}"
+  RESULT_VARIABLE diff_rc
+  OUTPUT_VARIABLE diff_out
+  ERROR_VARIABLE diff_err)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "diff against committed baseline regressed (exit ${diff_rc}):\n"
+    "${diff_out}\n${diff_err}")
+endif()
+
+# --- 3. single-file diff: re-run the recorded campaign ------------------------
+execute_process(
+  COMMAND "${PILOT_BENCH_BIN}" diff "${runs}"
+  RESULT_VARIABLE rerun_rc
+  OUTPUT_VARIABLE rerun_out
+  ERROR_VARIABLE rerun_err)
+if(NOT rerun_rc EQUAL 0)
+  message(FATAL_ERROR
+    "identical re-run diff should be clean (exit ${rerun_rc}):\n"
+    "${rerun_out}\n${rerun_err}")
+endif()
+
+# --- 4. an injected verdict flip must fail the diff ---------------------------
+file(READ "${runs}" runs_text)
+string(REPLACE "\"verdict\":\"SAFE\"" "\"verdict\":\"UNSAFE\""
+       tampered_text "${runs_text}")
+if(tampered_text STREQUAL runs_text)
+  message(FATAL_ERROR "no SAFE verdict found to tamper with in ${runs}")
+endif()
+set(tampered "${WORK_DIR}/tampered.jsonl")
+file(WRITE "${tampered}" "${tampered_text}")
+
+execute_process(
+  COMMAND "${PILOT_BENCH_BIN}" diff "${runs}" "${tampered}"
+  RESULT_VARIABLE flip_rc
+  OUTPUT_VARIABLE flip_out)
+if(flip_rc EQUAL 0)
+  message(FATAL_ERROR
+    "injected verdict flip was not detected:\n${flip_out}")
+endif()
+if(NOT flip_out MATCHES "VERDICT FLIP")
+  message(FATAL_ERROR
+    "flip diff failed but did not report the flip:\n${flip_out}")
+endif()
+
+message(STATUS
+  "bench smoke: run ok, baseline diff clean, re-run diff clean, "
+  "injected flip detected (exit ${flip_rc})")

@@ -32,12 +32,10 @@ TEST(Checker, EnumKindsResolveInBackendRegistry) {
   }
 }
 
-TEST(Checker, EngineSpecOverridesEnum) {
-  // engine_spec takes precedence over the enum: the enum says BMC (cannot
-  // prove safety), the spec says k-induction (can).
+TEST(Checker, EngineSpecSelectsBackend) {
+  // k-induction (unlike BMC) can prove the constrained shift register safe.
   const auto cc = circuits::shift_register(5, true);
   CheckOptions opts;
-  opts.engine = EngineKind::kBmc;
   opts.engine_spec = "kind";
   opts.budget_ms = 30000;
   EXPECT_EQ(check_aig(cc.aig, opts).verdict, ic3::Verdict::kSafe);
@@ -46,12 +44,16 @@ TEST(Checker, EngineSpecOverridesEnum) {
 TEST(Checker, PaperConfigurationsMatchTable1Order) {
   const auto& configs = paper_configurations();
   ASSERT_EQ(configs.size(), 6u);
-  EXPECT_EQ(configs[0], EngineKind::kIc3Down);    // RIC3
-  EXPECT_EQ(configs[1], EngineKind::kIc3DownPl);  // RIC3-pl
-  EXPECT_EQ(configs[2], EngineKind::kIc3Ctg);     // IC3ref
-  EXPECT_EQ(configs[3], EngineKind::kIc3CtgPl);   // IC3ref-pl
-  EXPECT_EQ(configs[4], EngineKind::kIc3Cav23);   // IC3ref-CAV23
-  EXPECT_EQ(configs[5], EngineKind::kPdr);        // ABC-PDR
+  EXPECT_EQ(configs[0], "ic3-down");     // RIC3
+  EXPECT_EQ(configs[1], "ic3-down-pl");  // RIC3-pl
+  EXPECT_EQ(configs[2], "ic3-ctg");      // IC3ref
+  EXPECT_EQ(configs[3], "ic3-ctg-pl");   // IC3ref-pl
+  EXPECT_EQ(configs[4], "ic3-cav23");    // IC3ref-CAV23
+  EXPECT_EQ(configs[5], "pdr");          // ABC-PDR
+  // Every paper spec resolves in the registry.
+  for (const std::string& spec : configs) {
+    EXPECT_TRUE(engine::backend_registered(spec)) << spec;
+  }
 }
 
 TEST(Checker, ConfigForSetsTheRightKnobs) {
@@ -81,7 +83,7 @@ TEST(Checker, ConfigForSetsTheRightKnobs) {
 TEST(Checker, ResultCarriesVerifiedTrace) {
   const auto cc = circuits::counter_unsafe(4, 6);
   CheckOptions opts;
-  opts.engine = EngineKind::kIc3CtgPl;
+  opts.engine_spec = "ic3-ctg-pl";
   const CheckResult r = check_aig(cc.aig, opts);
   EXPECT_EQ(r.verdict, ic3::Verdict::kUnsafe);
   ASSERT_TRUE(r.trace.has_value());
@@ -93,7 +95,7 @@ TEST(Checker, ResultCarriesVerifiedTrace) {
 TEST(Checker, ResultCarriesVerifiedInvariant) {
   const auto cc = circuits::token_ring_safe(5);
   CheckOptions opts;
-  opts.engine = EngineKind::kIc3Down;
+  opts.engine_spec = "ic3-down";
   const CheckResult r = check_aig(cc.aig, opts);
   EXPECT_EQ(r.verdict, ic3::Verdict::kSafe);
   ASSERT_TRUE(r.invariant.has_value());
@@ -103,7 +105,7 @@ TEST(Checker, ResultCarriesVerifiedInvariant) {
 
 TEST(Checker, BmcProducesTraceButCannotProve) {
   CheckOptions opts;
-  opts.engine = EngineKind::kBmc;
+  opts.engine_spec = "bmc";
   opts.budget_ms = 3000;
   const CheckResult unsafe_r =
       check_aig(circuits::counter_unsafe(4, 6).aig, opts);
@@ -120,7 +122,7 @@ TEST(Checker, OverridesTakePrecedence) {
   // stats must show zero prediction queries.
   const auto cc = circuits::counter_wrap_safe(5, 16, 30);
   CheckOptions opts;
-  opts.engine = EngineKind::kIc3CtgPl;
+  opts.engine_spec = "ic3-ctg-pl";
   ic3::Config override_cfg = config_for(EngineKind::kIc3CtgPl, 0);
   override_cfg.predict_lemmas = false;
   opts.ic3_overrides = override_cfg;
@@ -133,7 +135,7 @@ TEST(Checker, BudgetYieldsUnknown) {
   // A case that certainly needs more than 1 ms.
   const auto cc = circuits::counter_wrap_safe(10, 320, 900);
   CheckOptions opts;
-  opts.engine = EngineKind::kIc3Ctg;
+  opts.engine_spec = "ic3-ctg";
   opts.budget_ms = 1;
   const CheckResult r = check_aig(cc.aig, opts);
   EXPECT_EQ(r.verdict, ic3::Verdict::kUnknown);
@@ -147,7 +149,7 @@ TEST(Checker, PropertyIndexSelectsAmongBads) {
   a.add_bad(circuits::equals_const(a, count, 2));
   a.add_bad(aig::AigLit::constant(false));
   CheckOptions opts;
-  opts.engine = EngineKind::kIc3Down;
+  opts.engine_spec = "ic3-down";
   opts.property_index = 0;
   EXPECT_EQ(check_aig(a, opts).verdict, ic3::Verdict::kUnsafe);
   opts.property_index = 1;

@@ -33,15 +33,14 @@ TEST(Integration, BmcAgreesWithIc3OnUnsafeCases) {
   const auto cases = circuits::make_suite(circuits::SuiteSize::kTiny);
   RunMatrixOptions options;
   options.budget_ms = 5000;
-  const std::vector<EngineKind> engines{EngineKind::kIc3CtgPl,
-                                        EngineKind::kBmc};
+  const std::vector<std::string> engines{"ic3-ctg-pl", "bmc"};
   const auto records = run_matrix(cases, engines, options);
   // Pair up per case: when both solved an unsafe case, they agree by the
   // strict gate; here we additionally require BMC to have solved most
   // unsafe cases (they are shallow enough for the tiny suite).
   int bmc_unsafe = 0;
   for (const auto& r : records) {
-    if (r.engine == EngineKind::kBmc && r.solved) {
+    if (r.engine == "bmc" && r.solved) {
       EXPECT_EQ(r.verdict, ic3::Verdict::kUnsafe);
       ++bmc_unsafe;
     }
@@ -59,12 +58,12 @@ TEST(Integration, PortfolioRowSolvesTheTinySuite) {
   options.budget_ms = 10000;
   options.strict = true;
   options.jobs = 2;  // each job spawns its own backend race; stay bounded
-  const std::vector<EngineKind> engines{EngineKind::kPortfolio};
+  const std::vector<std::string> engines{"portfolio"};
   const auto records = run_matrix(cases, engines, options);
   EXPECT_EQ(records.size(), cases.size());
   std::size_t solved = 0;
   for (const auto& r : records) {
-    EXPECT_EQ(r.engine, EngineKind::kPortfolio);
+    EXPECT_EQ(r.engine, "portfolio");
     if (r.solved) ++solved;
   }
   EXPECT_EQ(solved, records.size());
@@ -74,7 +73,7 @@ TEST(Integration, KinductionProofsAreConsistent) {
   const auto cases = circuits::make_suite(circuits::SuiteSize::kTiny);
   RunMatrixOptions options;
   options.budget_ms = 3000;
-  const std::vector<EngineKind> engines{EngineKind::kKinduction};
+  const std::vector<std::string> engines{"kind"};
   const auto records = run_matrix(cases, engines, options);
   int proved = 0;
   for (const auto& r : records) {
@@ -93,7 +92,7 @@ TEST(Integration, VerdictSurvivesAigerRoundTrip) {
     if (checked >= 8) break;  // keep the test fast; families rotate below
     const aig::Aig back = aig::read_aiger_string(aig::to_aiger_binary(cc.aig));
     CheckOptions co;
-    co.engine = EngineKind::kIc3CtgPl;
+    co.engine_spec = "ic3-ctg-pl";
     co.budget_ms = 5000;
     const CheckResult direct = check_aig(cc.aig, co);
     const CheckResult roundtrip = check_aig(back, co);
@@ -109,14 +108,15 @@ TEST(Integration, RunMatrixRecordsCarryStats) {
       circuits::counter_wrap_safe(5, 16, 30)};
   RunMatrixOptions options;
   options.budget_ms = 5000;
-  const std::vector<EngineKind> engines{EngineKind::kIc3DownPl};
+  const std::vector<std::string> engines{"ic3-down-pl"};
   const auto records = run_matrix(cases, engines, options);
   ASSERT_EQ(records.size(), 1u);
   const RunRecord& r = records[0];
   EXPECT_EQ(r.case_name, "counter_wrap_safe_5_16_30");
   EXPECT_EQ(r.family, "counter");
   EXPECT_TRUE(r.solved);
-  EXPECT_TRUE(r.expected_safe);
+  EXPECT_EQ(r.expected, corpus::Expected::kSafe);
+  EXPECT_EQ(r.engine, "ic3-down-pl");
   EXPECT_GT(r.stats.num_generalizations, 0u);
   EXPECT_GT(r.seconds, 0.0);
 }
@@ -130,7 +130,7 @@ TEST(Integration, ParallelAndSerialRunsAgreeOnVerdicts) {
   serial.jobs = 1;
   RunMatrixOptions parallel = serial;
   parallel.jobs = 4;
-  const std::vector<EngineKind> engines{EngineKind::kIc3Ctg};
+  const std::vector<std::string> engines{"ic3-ctg"};
   const auto a = run_matrix(subset, engines, serial);
   const auto b = run_matrix(subset, engines, parallel);
   ASSERT_EQ(a.size(), b.size());

@@ -153,11 +153,11 @@ TEST(CheckerPortfolio, DispatchesThroughEngineSpec) {
   EXPECT_TRUE(r.witness_error.empty());
 }
 
-TEST(CheckerPortfolio, EnumRowMatchesSingleEngineVerdicts) {
-  // The kPortfolio compatibility row must agree with the single engines on
-  // both verdict classes.
+TEST(CheckerPortfolio, DefaultMixMatchesSingleEngineVerdicts) {
+  // The bare "portfolio" spec (default backend mix) must agree with the
+  // single engines on both verdict classes.
   CheckOptions portfolio_opts;
-  portfolio_opts.engine = EngineKind::kPortfolio;
+  portfolio_opts.engine_spec = "portfolio";
   EXPECT_EQ(check_aig(circuits::token_ring_safe(5).aig, portfolio_opts).verdict,
             ic3::Verdict::kSafe);
   EXPECT_EQ(check_aig(circuits::counter_unsafe(4, 6).aig, portfolio_opts)

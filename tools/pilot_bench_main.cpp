@@ -1,0 +1,337 @@
+/// \file pilot_bench_main.cpp
+/// `pilot-bench` — the benchmark-campaign runner over the corpus subsystem:
+/// ingest an AIGER corpus (or a built-in suite), run a (case × engine)
+/// matrix into the append-only JSONL results database, and diff campaigns
+/// against a baseline for CI regression gating.
+///
+///   pilot-bench run --corpus <manifest|dir|suite:SIZE> --engines a+b
+///       [--budget-ms N] [--jobs N] [--out runs.jsonl]
+///   pilot-bench diff <baseline.jsonl> [<current.jsonl>]
+///       [--time-threshold R] [--min-seconds S] [--fail-on-time]
+///   pilot-bench make-manifest --suite SIZE --out DIR [--format aag|aig]
+///   pilot-bench list --corpus <manifest|dir|suite:SIZE>
+///
+/// `diff` with one file re-runs the campaign recorded in the baseline rows
+/// (same corpus, engines, budget, seed) and compares — the single command
+/// CI calls.  Newly-unsolved cases and verdict flips (a soundness alarm)
+/// fail the diff; time regressions beyond the threshold are reported, and
+/// fail only with --fail-on-time.
+///
+/// Exit codes: 0 = ok, 1 = regression / expectation mismatch, 3 = usage or
+/// I/O error.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "check/runner.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/manifest.hpp"
+#include "corpus/results_db.hpp"
+#include "util/options.hpp"
+
+using namespace pilot;
+
+namespace {
+
+/// Splits an `--engines` list.  ',' is the primary separator (needed when a
+/// portfolio spec itself contains '+'); a list without ',' splits on '+'.
+/// A lone "portfolio:…" spec is passed through whole, and mixing a
+/// portfolio spec into a '+'-separated list is rejected as ambiguous —
+/// "portfolio:bmc+kind" must not silently become ["portfolio:bmc", "kind"].
+std::vector<std::string> split_engines(const std::string& text) {
+  if (text.find(',') == std::string::npos &&
+      text.find("portfolio:") != std::string::npos) {
+    if (text.rfind("portfolio:", 0) == 0) return {text};
+    throw std::invalid_argument(
+        "--engines: a portfolio spec inside a '+'-separated list is "
+        "ambiguous; separate engines with ',' instead");
+  }
+  const char sep = text.find(',') != std::string::npos ? ',' : '+';
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : text) {
+    if (c == sep) {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  if (out.empty()) {
+    throw std::invalid_argument("--engines: empty engine list");
+  }
+  return out;
+}
+
+int report_campaign(const std::vector<check::RunRecord>& records,
+                    const std::string& out_path) {
+  for (const check::RunRecord& r : records) {
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "[pilot-bench] %s: ERROR %s\n",
+                   r.case_name.c_str(), r.error.c_str());
+    } else if (corpus::record_mismatch(r)) {
+      std::fprintf(stderr,
+                   "[pilot-bench] MISMATCH %s × %s: got %s, expected %s\n",
+                   r.case_name.c_str(), r.engine.c_str(),
+                   ic3::to_string(r.verdict), corpus::to_string(r.expected));
+    }
+  }
+  const corpus::CampaignSummary s = corpus::summarize_campaign(records);
+  std::fprintf(stderr,
+               "[pilot-bench] %zu records: %zu solved, %zu unknown, "
+               "%zu mismatches, %zu errors%s%s\n",
+               s.total, s.solved, s.unknown, s.mismatches, s.errors,
+               out_path.empty() ? "" : " — rows appended to ",
+               out_path.c_str());
+  return s.exit_code();
+}
+
+/// Runs one campaign and appends its rows to `writer`.
+std::vector<check::RunRecord> run_campaign(
+    const std::string& corpus_spec, const std::vector<std::string>& engines,
+    const check::RunMatrixOptions& options,
+    corpus::ResultsDb::Writer* writer, corpus::ResultsDb* db_out) {
+  const std::vector<corpus::Case> cases = corpus::resolve_corpus(corpus_spec);
+  if (cases.empty()) {
+    throw std::runtime_error("corpus '" + corpus_spec + "' has no cases");
+  }
+  std::fprintf(stderr, "[pilot-bench] %zu cases × %zu engines, %lld ms "
+               "budget\n",
+               cases.size(), engines.size(),
+               static_cast<long long>(options.budget_ms));
+  const std::vector<check::RunRecord> records =
+      check::run_matrix(cases, engines, options);
+
+  const corpus::RunContext context = corpus::make_run_context(
+      corpus_spec, options.budget_ms, options.seed);
+  for (const check::RunRecord& r : records) {
+    corpus::RunRow row{r, context};
+    if (writer != nullptr) writer->append(row);
+    if (db_out != nullptr) db_out->add(std::move(row));
+  }
+  return records;
+}
+
+int cmd_run(int argc, const char* const* argv) {
+  std::string corpus_spec;
+  std::string engines_text = "ic3-ctg-pl";
+  std::int64_t budget_ms = 2000;
+  std::int64_t jobs = 0;
+  std::int64_t seed = 0;
+  std::string out_path;
+  bool truncate = false;
+  bool verify_witness = true;
+  OptionParser parser(
+      "pilot-bench run — run a (corpus × engines) campaign into a results "
+      "db");
+  parser.add_string("corpus", &corpus_spec,
+                    "manifest.json, a directory of .aig/.aag files, or "
+                    "suite:tiny|quick|full");
+  parser.add_string("engines", &engines_text,
+                    "engine specs, '+'-separated (use ',' when a portfolio "
+                    "spec contains '+')");
+  parser.add_int("budget-ms", &budget_ms, "per-case wall-clock budget");
+  parser.add_int("jobs", &jobs, "worker threads (0 = hardware concurrency)");
+  parser.add_int("seed", &seed, "engine seed");
+  parser.add_string("out", &out_path,
+                    "append JSONL rows here (default: stdout)");
+  parser.add_flag("truncate", &truncate,
+                  "start --out fresh instead of appending");
+  parser.add_flag("verify-witness", &verify_witness,
+                  "re-check produced certificates (default on)");
+  if (!parser.parse(argc, argv)) return 3;
+  if (corpus_spec.empty()) {
+    std::fprintf(stderr, "pilot-bench run: --corpus is required\n");
+    return 3;
+  }
+
+  check::RunMatrixOptions options;
+  options.budget_ms = budget_ms;
+  options.jobs = static_cast<std::size_t>(jobs);
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.verify_witness = verify_witness;
+  options.strict = false;  // mismatches surface via the exit code
+  corpus::ResultsDb::Writer writer(out_path, truncate);
+  const std::vector<check::RunRecord> records = run_campaign(
+      corpus_spec, split_engines(engines_text), options, &writer, nullptr);
+  return report_campaign(records, out_path);
+}
+
+int cmd_diff(int argc, const char* const* argv) {
+  double time_threshold = 1.5;
+  double min_seconds = 0.25;
+  bool fail_on_time = false;
+  std::int64_t jobs = 0;
+  OptionParser parser(
+      "pilot-bench diff — compare a campaign against a baseline results "
+      "db.\nusage: pilot-bench diff <baseline.jsonl> [<current.jsonl>]\n"
+      "With one file, the baseline's recorded campaign (corpus, engines, "
+      "budget, seed) is re-run and compared.");
+  parser.add_double("time-threshold", &time_threshold,
+                    "cur/base runtime ratio counted as a regression");
+  parser.add_double("min-seconds", &min_seconds,
+                    "ignore time regressions on cases faster than this");
+  parser.add_flag("fail-on-time", &fail_on_time,
+                  "exit non-zero on time regressions too");
+  parser.add_int("jobs", &jobs, "re-run mode: worker threads");
+  if (!parser.parse(argc, argv)) return 3;
+  if (parser.positional().empty() || parser.positional().size() > 2) {
+    std::fprintf(stderr,
+                 "usage: pilot-bench diff <baseline.jsonl> "
+                 "[<current.jsonl>]\n");
+    return 3;
+  }
+
+  corpus::ResultsDb baseline =
+      corpus::ResultsDb::load(parser.positional()[0]);
+  if (baseline.rows().empty()) {
+    std::fprintf(stderr, "pilot-bench diff: baseline %s is empty\n",
+                 parser.positional()[0].c_str());
+    return 3;
+  }
+
+  corpus::ResultsDb current;
+  if (parser.positional().size() == 2) {
+    current = corpus::ResultsDb::load(parser.positional()[1]);
+  } else {
+    // Re-run the campaign the baseline recorded.
+    baseline.dedup();
+    const corpus::RunContext& ctx = baseline.rows().front().context;
+    if (ctx.corpus.empty()) {
+      std::fprintf(stderr,
+                   "pilot-bench diff: baseline rows carry no corpus source; "
+                   "pass a current.jsonl explicitly\n");
+      return 3;
+    }
+    for (const corpus::RunRow& row : baseline.rows()) {
+      if (row.context.corpus != ctx.corpus) {
+        std::fprintf(stderr,
+                     "pilot-bench diff: baseline mixes corpora ('%s' vs "
+                     "'%s'); pass a current.jsonl explicitly\n",
+                     ctx.corpus.c_str(), row.context.corpus.c_str());
+        return 3;
+      }
+    }
+    check::RunMatrixOptions options;
+    options.budget_ms = ctx.budget_ms;
+    options.seed = ctx.seed;
+    options.jobs = static_cast<std::size_t>(jobs);
+    options.strict = false;
+    (void)run_campaign(ctx.corpus, baseline.engines(), options, nullptr,
+                       &current);
+  }
+
+  corpus::DiffOptions options;
+  options.time_ratio = time_threshold;
+  options.min_seconds = min_seconds;
+  options.fail_on_time = fail_on_time;
+  const corpus::DiffReport report =
+      corpus::diff_runs(baseline, current, options);
+  std::fputs(report.summary(options).c_str(), stdout);
+  return report.failed(options) ? 1 : 0;
+}
+
+int cmd_make_manifest(int argc, const char* const* argv) {
+  std::string suite = "tiny";
+  std::string out_dir;
+  std::string format = "aag";
+  OptionParser parser(
+      "pilot-bench make-manifest — export a built-in suite as an on-disk "
+      "corpus (AIGER files + manifest.json)");
+  parser.add_choice("suite", &suite, {"tiny", "quick", "full"},
+                    "suite size to export");
+  parser.add_string("out", &out_dir, "output directory");
+  parser.add_choice("format", &format, {"aag", "aig"},
+                    "AIGER flavour (ascii or binary)");
+  if (!parser.parse(argc, argv)) return 3;
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "pilot-bench make-manifest: --out is required\n");
+    return 3;
+  }
+  const corpus::Manifest manifest = corpus::export_suite(
+      circuits::suite_size_from_string(suite), out_dir, format == "aig");
+  std::printf("wrote %zu cases and %s to %s\n", manifest.entries.size(),
+              corpus::kManifestFilename, out_dir.c_str());
+  return 0;
+}
+
+int cmd_list(int argc, const char* const* argv) {
+  std::string corpus_spec;
+  OptionParser parser("pilot-bench list — show a corpus' cases");
+  parser.add_string("corpus", &corpus_spec,
+                    "manifest.json, a directory, or suite:tiny|quick|full");
+  if (!parser.parse(argc, argv)) return 3;
+  if (corpus_spec.empty() && !parser.positional().empty()) {
+    corpus_spec = parser.positional()[0];
+  }
+  if (corpus_spec.empty()) {
+    std::fprintf(stderr, "pilot-bench list: --corpus is required\n");
+    return 3;
+  }
+  const std::vector<corpus::Case> cases =
+      corpus::resolve_corpus(corpus_spec);
+  std::printf("%-32s %-8s %8s %8s %8s  %s\n", "case", "expect", "inputs",
+              "latches", "ands", "tags");
+  for (const corpus::Case& c : cases) {
+    std::string tags;
+    for (const std::string& t : c.tags) {
+      if (!tags.empty()) tags += ",";
+      tags += t;
+    }
+    std::printf("%-32s %-8s %8zu %8zu %8zu  %s\n", c.name.c_str(),
+                corpus::to_string(c.expected), c.num_inputs, c.num_latches,
+                c.num_ands, tags.c_str());
+  }
+  std::printf("%zu cases\n", cases.size());
+  return 0;
+}
+
+void print_usage() {
+  std::fputs(
+      "pilot-bench — benchmark campaigns over AIGER corpora and the\n"
+      "built-in suites, persisted to an append-only JSONL results db.\n\n"
+      "subcommands:\n"
+      "  run            run a (corpus × engines) matrix into the db\n"
+      "  diff           compare a campaign against a baseline db\n"
+      "  make-manifest  export a built-in suite as an on-disk corpus\n"
+      "  list           show a corpus' cases and parse metadata\n\n"
+      "try `pilot-bench <subcommand> --help` for flags\n",
+      stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 3;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    print_usage();
+    return 0;
+  }
+  // Shift so each subcommand parses its own flags from argv[2:].
+  std::vector<const char*> args;
+  args.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) args.push_back(argv[i]);
+  const int sub_argc = static_cast<int>(args.size());
+
+  try {
+    if (cmd == "run") return cmd_run(sub_argc, args.data());
+    if (cmd == "diff") return cmd_diff(sub_argc, args.data());
+    if (cmd == "make-manifest") {
+      return cmd_make_manifest(sub_argc, args.data());
+    }
+    if (cmd == "list") return cmd_list(sub_argc, args.data());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pilot-bench %s: %s\n", cmd.c_str(), e.what());
+    return 3;
+  }
+  std::fprintf(stderr, "pilot-bench: unknown subcommand '%s'\n",
+               cmd.c_str());
+  print_usage();
+  return 3;
+}

@@ -2,16 +2,25 @@
 /// `pilot` — the top-level command-line model checker built on pilot_core.
 ///
 ///   pilot [options] model.aag|model.aig     check an AIGER file
+///   pilot [options] m1.aag m2.aig ...       batch-check several files
+///   pilot --corpus <manifest|dir> [options] batch-check a corpus
 ///   pilot --gen FAMILY [options]            check a built-in circuit family
 ///   pilot --gen FAMILY --gen-out out.aag    write the circuit, don't check
 ///
-/// The verdict is printed as a single line (SAFE / UNSAFE / UNKNOWN) on
-/// stdout; diagnostics go to stderr.  With --witness, UNSAFE runs print the
-/// counterexample in the AIGER/HWMCC witness format and SAFE runs print the
-/// "0\nb<index>\n." certificate header.
+/// Single-file mode prints the verdict as one line (SAFE / UNSAFE /
+/// UNKNOWN) on stdout; diagnostics go to stderr.  With --witness, UNSAFE
+/// runs print the counterexample in the AIGER/HWMCC witness format and SAFE
+/// runs print the "0\nb<index>\n." certificate header.
+///
+/// Batch mode (--corpus, or more than one input file) runs every case with
+/// the selected engine and emits one results-db JSONL row per case — the
+/// same schema `pilot-bench run` writes (corpus/results_db.hpp) — to --out,
+/// or to stdout when --out is not given.
 ///
 /// Exit codes (HWMCC convention, shared with examples/aiger_check):
 ///   0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 3 = usage/parse/internal error
+/// Batch mode: 0 = completed, 1 = a verdict contradicted the manifest's
+/// expected status, 3 = a case failed to load or a usage/internal error.
 #include <cstdio>
 #include <exception>
 #include <map>
@@ -20,7 +29,10 @@
 
 #include "aig/aiger_io.hpp"
 #include "check/checker.hpp"
+#include "check/runner.hpp"
 #include "circuits/families.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/results_db.hpp"
 #include "engine/backend.hpp"
 #include "ic3/witness.hpp"
 #include "ts/transition_system.hpp"
@@ -116,6 +128,9 @@ int main(int argc, char** argv) {
   bool list_gen = false;
   std::string gen;
   std::string gen_out;
+  std::string corpus_spec;
+  std::int64_t jobs = 0;
+  std::string out_path;
 
   OptionParser parser(
       "pilot — SAT-based safety model checker: IC3 with lemma prediction "
@@ -147,6 +162,14 @@ int main(int argc, char** argv) {
                     "write the generated circuit as AIGER to this path and "
                     "exit without checking");
   parser.add_flag("list-gen", &list_gen, "list built-in circuit families");
+  parser.add_string("corpus", &corpus_spec,
+                    "batch-check a corpus: a manifest.json, a directory of "
+                    ".aig/.aag files, or suite:tiny|quick|full");
+  parser.add_int("jobs", &jobs,
+                 "batch mode: worker threads (0 = hardware concurrency)");
+  parser.add_string("out", &out_path,
+                    "batch mode: append results-db JSONL rows to this file "
+                    "(default: stdout)");
 
   // OptionParser::parse returns false for both --help and errors; handle
   // --help up front so `pilot --help` exits 0.
@@ -165,6 +188,65 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // --- batch mode: --corpus and/or several input files -------------------
+    if (!corpus_spec.empty() || parser.positional().size() > 1) {
+      if (!gen.empty() || !gen_out.empty()) {
+        std::fprintf(stderr, "pilot: --gen and batch mode are exclusive\n");
+        return 3;
+      }
+      std::vector<corpus::Case> cases;
+      if (!corpus_spec.empty()) {
+        cases = corpus::resolve_corpus(corpus_spec);
+      }
+      for (const std::string& path : parser.positional()) {
+        corpus::Case c;
+        const std::size_t slash = path.find_last_of("/\\");
+        const std::string base =
+            slash == std::string::npos ? path : path.substr(slash + 1);
+        const std::size_t dot = base.find_last_of('.');
+        c.name = dot == std::string::npos ? base : base.substr(0, dot);
+        c.family = "aiger";
+        c.source = path;
+        c.load = [path]() { return aig::read_aiger_file(path); };
+        cases.push_back(std::move(c));
+      }
+      if (cases.empty()) {
+        std::fprintf(stderr, "pilot: corpus '%s' has no cases\n",
+                     corpus_spec.c_str());
+        return 3;
+      }
+
+      check::RunMatrixOptions mo;
+      mo.budget_ms = budget_ms;
+      mo.seed = static_cast<std::uint64_t>(seed);
+      mo.jobs = static_cast<std::size_t>(jobs);
+      mo.verify_witness = verify_witness;
+      mo.strict = false;  // report mismatches via the exit code instead
+      const std::vector<check::RunRecord> records =
+          check::run_matrix(cases, {engine}, mo);
+
+      const corpus::RunContext ctx = corpus::make_run_context(
+          corpus_spec.empty() ? "files" : corpus_spec, budget_ms,
+          static_cast<std::uint64_t>(seed));
+      corpus::ResultsDb::Writer writer(out_path);
+      for (const check::RunRecord& r : records) {
+        writer.append({r, ctx});
+        if (!r.error.empty()) {
+          std::fprintf(stderr, "[pilot] %s: ERROR %s\n", r.case_name.c_str(),
+                       r.error.c_str());
+        }
+      }
+      const corpus::CampaignSummary s = corpus::summarize_campaign(records);
+      std::fprintf(stderr,
+                   "[pilot] %zu cases with %s: %zu solved, %zu unknown, "
+                   "%zu mismatches, %zu errors%s%s\n",
+                   s.total, engine.c_str(), s.solved, s.unknown,
+                   s.mismatches, s.errors,
+                   out_path.empty() ? "" : ", rows appended to ",
+                   out_path.c_str());
+      return s.exit_code();
+    }
+
     aig::Aig model;
     std::string source;
     if (!gen.empty()) {
