@@ -54,9 +54,11 @@ void BM_CubeSubsumption(benchmark::State& state) {
 BENCHMARK(BM_CubeSubsumption)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_SolverPropagationThroughput(benchmark::State& state) {
-  // Long implication chains: measures two-watched-literal propagation.
+  // Long implication chains: measures two-watched-literal propagation
+  // (entirely binary clauses, so this is the implicit-binary-watch path).
   const int n = static_cast<int>(state.range(0));
   sat::Solver solver;
+  solver.set_trail_reuse(false);  // isolate raw propagation, no reuse
   std::vector<sat::Var> vars;
   for (int i = 0; i < n; ++i) vars.push_back(solver.new_var());
   for (int i = 0; i + 1 < n; ++i) {
@@ -69,6 +71,117 @@ void BM_SolverPropagationThroughput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SolverPropagationThroughput)->Arg(1000)->Arg(10000);
+
+void BM_AssumptionPrefixSolves(benchmark::State& state) {
+  // The IC3 query shape: a long shared activation prefix guarding lemma
+  // clauses, plus a short per-query tail.  Arg: trail reuse off (0) / on
+  // (1) — the gap between the two is the win of not re-propagating the
+  // prefix on every call.
+  constexpr int kActs = 48;
+  constexpr int kStateVars = 256;
+  constexpr int kLemmasPerAct = 12;
+  Rng rng(23);
+  sat::Solver solver;
+  solver.set_trail_reuse(state.range(0) != 0);
+  std::vector<sat::Var> acts;
+  std::vector<sat::Var> vars;
+  for (int i = 0; i < kStateVars; ++i) vars.push_back(solver.new_var());
+  for (int i = 0; i < kActs; ++i) acts.push_back(solver.new_var());
+  for (int a = 0; a < kActs; ++a) {
+    for (int c = 0; c < kLemmasPerAct; ++c) {
+      // act_a → (¬x ∨ ¬y ∨ z): a guarded pseudo-lemma.
+      solver.add_clause(
+          {sat::Lit::make(acts[a], true),
+           sat::Lit::make(static_cast<sat::Var>(rng.below(kStateVars)), true),
+           sat::Lit::make(static_cast<sat::Var>(rng.below(kStateVars)), true),
+           sat::Lit::make(static_cast<sat::Var>(rng.below(kStateVars)))});
+    }
+  }
+  std::vector<sat::Lit> assumptions;
+  for (int a = kActs; a-- > 0;) assumptions.push_back(sat::Lit::make(acts[a]));
+  const std::size_t prefix = assumptions.size();
+  for (auto _ : state) {
+    assumptions.resize(prefix);
+    // Varying two-literal tail after the stable activation prefix.
+    assumptions.push_back(sat::Lit::make(
+        static_cast<sat::Var>(rng.below(kStateVars)), rng.chance(0.5)));
+    assumptions.push_back(sat::Lit::make(
+        static_cast<sat::Var>(rng.below(kStateVars)), rng.chance(0.5)));
+    benchmark::DoNotOptimize(solver.solve(assumptions));
+  }
+}
+BENCHMARK(BM_AssumptionPrefixSolves)->Arg(0)->Arg(1);
+
+void BM_BinaryLemmaPropagation(benchmark::State& state) {
+  // IC3 generates thousands of 2-literal clauses (unit lemmas under an
+  // activation literal, init-cube guards).  Assuming the activation
+  // literals cascades through every one of them — the implicit binary
+  // watch path end to end.
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kActs = 16;
+  sat::Solver solver;
+  std::vector<sat::Var> acts;
+  std::vector<sat::Var> vars;
+  for (int i = 0; i < n; ++i) vars.push_back(solver.new_var());
+  for (int i = 0; i < kActs; ++i) acts.push_back(solver.new_var());
+  for (int i = 0; i < n; ++i) {
+    solver.add_binary(sat::Lit::make(acts[i % kActs], true),
+                      sat::Lit::make(vars[i], (i & 1) != 0));
+  }
+  std::vector<sat::Lit> assumptions;
+  for (int a = kActs; a-- > 0;) assumptions.push_back(sat::Lit::make(acts[a]));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(assumptions));
+    // Alternate dropping the lowest activation literal so consecutive
+    // calls exercise both full reuse and a diverging suffix.
+    if (assumptions.size() == static_cast<std::size_t>(kActs)) {
+      assumptions.pop_back();
+    } else {
+      assumptions.push_back(sat::Lit::make(acts[0]));
+    }
+  }
+}
+BENCHMARK(BM_BinaryLemmaPropagation)->Arg(2000)->Arg(8000);
+
+void BM_ReduceDbIc3Learnts(benchmark::State& state) {
+  // Learnt-database churn under an IC3-like mix: a hard combinational
+  // core that generates many small learnts, solved under a rotating
+  // assumption pair with a conflict budget, so reduce_db runs with a
+  // realistic glue distribution instead of a uniform one.
+  constexpr int kVars = 160;
+  constexpr int kClauses = 680;
+  Rng build_rng(41);
+  sat::Solver solver;
+  std::vector<sat::Var> vars;
+  std::vector<bool> hidden;  // planted solution keeps the instance SAT
+  for (int i = 0; i < kVars; ++i) {
+    vars.push_back(solver.new_var());
+    hidden.push_back(build_rng.chance(0.5));
+  }
+  for (int i = 0; i < kClauses; ++i) {
+    std::vector<sat::Lit> clause;
+    bool satisfied = false;
+    for (int j = 0; j < 3; ++j) {
+      const auto v = static_cast<sat::Var>(build_rng.below(kVars));
+      const bool sign = build_rng.chance(0.5);
+      satisfied = satisfied || (sign == !hidden[v]);
+      clause.push_back(sat::Lit::make(v, sign));
+    }
+    if (!satisfied) clause.back() = ~clause.back();
+    solver.add_clause(clause);
+  }
+  solver.set_conflict_budget(400);
+  Rng rng(57);
+  for (auto _ : state) {
+    const std::vector<sat::Lit> assumptions{
+        sat::Lit::make(static_cast<sat::Var>(rng.below(kVars)),
+                       rng.chance(0.5)),
+        sat::Lit::make(static_cast<sat::Var>(rng.below(kVars)),
+                       rng.chance(0.5))};
+    benchmark::DoNotOptimize(solver.solve(assumptions));
+  }
+}
+BENCHMARK(BM_ReduceDbIc3Learnts);
 
 void BM_RelativeInductionQuery(benchmark::State& state) {
   // The cost unit of generalization: one relative-induction query on a

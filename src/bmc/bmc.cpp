@@ -43,6 +43,7 @@ BmcResult run_bmc(const ts::TransitionSystem& ts, const BmcOptions& options,
   for (int k = 0; k <= options.max_bound; ++k) {
     if (deadline.expired()) {
       result.seconds = timer.seconds();
+      result.sat_stats = solver.stats();
       return result;
     }
     unroller.extend_to(k);
@@ -50,6 +51,7 @@ BmcResult run_bmc(const ts::TransitionSystem& ts, const BmcOptions& options,
     const sat::SolveResult res = solver.solve(assumptions, deadline);
     if (res == sat::SolveResult::kUnknown) {
       result.seconds = timer.seconds();
+      result.sat_stats = solver.stats();
       return result;  // kUnknown
     }
     if (res == sat::SolveResult::kSat) {
@@ -57,11 +59,13 @@ BmcResult run_bmc(const ts::TransitionSystem& ts, const BmcOptions& options,
       result.counterexample_length = k;
       result.trace = extract_unrolled_trace(solver, unroller, ts, k);
       result.seconds = timer.seconds();
+      result.sat_stats = solver.stats();
       return result;
     }
   }
   result.verdict = BmcVerdict::kBoundReached;
   result.seconds = timer.seconds();
+  result.sat_stats = solver.stats();
   return result;
 }
 

@@ -27,6 +27,8 @@ struct BmcResult {
   int counterexample_length = -1;  // steps to bad (0 = bad in init)
   double seconds = 0.0;
   std::optional<Trace> trace;
+  /// SAT-layer counters of the unrolling solver (campaigns record them).
+  sat::SolverStats sat_stats;
 };
 
 struct BmcOptions {

@@ -49,10 +49,16 @@ KindResult run_kinduction(const ts::TransitionSystem& ts,
   step_solver.set_seed(options.seed);
   ts::Unroller step(ts, step_solver, /*assert_init=*/false);
 
+  const auto finish = [&](KindResult& r) -> KindResult& {
+    r.seconds = timer.seconds();
+    r.sat_stats = base_solver.stats();
+    r.sat_stats += step_solver.stats();
+    return r;
+  };
+
   for (int k = 0; k <= options.max_k; ++k) {
     if (deadline.expired()) {
-      result.seconds = timer.seconds();
-      return result;
+      return finish(result);
     }
     // Base case: counterexample of length k?
     base.extend_to(k);
@@ -64,8 +70,7 @@ KindResult run_kinduction(const ts::TransitionSystem& ts,
         result.verdict = KindVerdict::kUnsafe;
         result.k = k;
         result.trace = extract_unrolled_trace(base_solver, base, ts, k);
-        result.seconds = timer.seconds();
-        return result;
+        return finish(result);
       }
     }
     // Step case: ¬bad at frames 0..k, bad at frame k+1, all states distinct.
@@ -83,8 +88,7 @@ KindResult run_kinduction(const ts::TransitionSystem& ts,
       if (res == sat::SolveResult::kUnsat) {
         result.verdict = KindVerdict::kSafe;
         result.k = k;
-        result.seconds = timer.seconds();
-        return result;
+        return finish(result);
       }
     }
   }
@@ -92,8 +96,7 @@ KindResult run_kinduction(const ts::TransitionSystem& ts,
     result.verdict = KindVerdict::kBoundReached;
     result.k = options.max_k;
   }
-  result.seconds = timer.seconds();
-  return result;
+  return finish(result);
 }
 
 }  // namespace pilot::bmc

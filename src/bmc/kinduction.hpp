@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "ic3/witness.hpp"
+#include "sat/solver.hpp"
 #include "ts/transition_system.hpp"
 #include "util/cancel.hpp"
 #include "util/timer.hpp"
@@ -24,6 +25,8 @@ struct KindResult {
   int k = -1;  // proof depth or counterexample length
   double seconds = 0.0;
   std::optional<ic3::Trace> trace;  // when UNSAFE (base-case model)
+  /// Combined base + step solver counters (campaigns record them).
+  sat::SolverStats sat_stats;
 };
 
 struct KindOptions {

@@ -1,0 +1,200 @@
+#include "corpus/bench_diff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace pilot::corpus {
+
+namespace {
+
+double to_nanoseconds(double value, const std::string& unit) {
+  if (unit == "ns" || unit.empty()) return value;
+  if (unit == "us") return value * 1e3;
+  if (unit == "ms") return value * 1e6;
+  if (unit == "s") return value * 1e9;
+  throw std::runtime_error("benchmark json: unknown time_unit '" + unit +
+                           "'");
+}
+
+std::string format_ns(double ns) {
+  char buf[64];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fns", ns);
+  }
+  return buf;
+}
+
+std::string format_ratio(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", (ratio - 1.0) * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<BenchEntry> parse_benchmark_json(const json::Value& doc) {
+  const json::Value& rows = doc.at("benchmarks");
+  if (!rows.is_array()) {
+    throw std::runtime_error(
+        "benchmark json: no \"benchmarks\" array (expected "
+        "--benchmark_out_format=json output)");
+  }
+  // Two passes over one map: median aggregates supersede plain rows of the
+  // same run name, so files with and without --benchmark_repetitions both
+  // produce one entry per benchmark.
+  std::map<std::string, BenchEntry> by_name;
+  std::map<std::string, bool> from_aggregate;
+  for (const json::Value& row : rows.as_array()) {
+    const std::string run_type = row.at("run_type").as_string();
+    const std::string aggregate = row.at("aggregate_name").as_string();
+    const bool is_aggregate = run_type == "aggregate";
+    if (is_aggregate && aggregate != "median") continue;
+    // Aggregates carry the underlying benchmark name in run_name.
+    std::string name = row.at("run_name").as_string();
+    if (name.empty()) name = row.at("name").as_string();
+    if (name.empty()) continue;
+    if (from_aggregate[name] && !is_aggregate) continue;
+    const std::string unit = row.at("time_unit").as_string();
+    BenchEntry e;
+    e.name = name;
+    e.cpu_time_ns = to_nanoseconds(row.at("cpu_time").as_double(), unit);
+    by_name[name] = std::move(e);
+    from_aggregate[name] = is_aggregate;
+  }
+  std::vector<BenchEntry> out;
+  out.reserve(by_name.size());
+  for (auto& [name, entry] : by_name) out.push_back(std::move(entry));
+  return out;
+}
+
+std::vector<BenchEntry> load_benchmark_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("benchmark json: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_benchmark_json(json::parse(text.str()));
+}
+
+BenchDiffReport diff_benchmarks(const std::vector<BenchEntry>& baseline,
+                                const std::vector<BenchEntry>& current,
+                                const BenchDiffOptions& options) {
+  std::map<std::string, const BenchEntry*> cur_by_name;
+  for (const BenchEntry& e : current) cur_by_name[e.name] = &e;
+
+  BenchDiffReport report;
+  std::map<std::string, bool> base_names;
+  for (const BenchEntry& b : baseline) {
+    base_names[b.name] = true;
+    const auto it = cur_by_name.find(b.name);
+    if (it == cur_by_name.end()) {
+      report.only_in_baseline.push_back(b.name);
+      continue;
+    }
+    BenchDiffEntry e;
+    e.name = b.name;
+    e.base_ns = b.cpu_time_ns;
+    e.cur_ns = it->second->cpu_time_ns;
+    const double slower = std::max(e.base_ns, e.cur_ns);
+    if (slower < options.min_time_ns || e.base_ns <= 0.0) {
+      report.unchanged.push_back(e);
+    } else if (e.ratio() > options.slow_ratio) {
+      report.slowdowns.push_back(e);
+    } else if (e.ratio() < 1.0 / options.fast_ratio) {
+      report.improvements.push_back(e);
+    } else {
+      report.unchanged.push_back(e);
+    }
+  }
+  for (const BenchEntry& c : current) {
+    if (base_names.find(c.name) == base_names.end()) {
+      report.only_in_current.push_back(c.name);
+    }
+  }
+  const auto worst_first = [](const BenchDiffEntry& a,
+                              const BenchDiffEntry& b) {
+    return a.ratio() > b.ratio();
+  };
+  std::sort(report.slowdowns.begin(), report.slowdowns.end(), worst_first);
+  std::sort(report.improvements.begin(), report.improvements.end(),
+            [](const BenchDiffEntry& a, const BenchDiffEntry& b) {
+              return a.ratio() < b.ratio();
+            });
+  return report;
+}
+
+std::string BenchDiffReport::summary(const BenchDiffOptions& options) const {
+  std::ostringstream out;
+  const auto describe = [&](const char* label,
+                            const std::vector<BenchDiffEntry>& entries) {
+    if (entries.empty()) return;
+    out << label << " (" << entries.size() << "):\n";
+    for (const BenchDiffEntry& e : entries) {
+      out << "  " << e.name << ": " << format_ns(e.base_ns) << " -> "
+          << format_ns(e.cur_ns) << "  (" << format_ratio(e.ratio())
+          << ")\n";
+    }
+  };
+  char threshold[64];
+  std::snprintf(threshold, sizeof(threshold),
+                "SLOWDOWNS beyond %+.0f%%", (options.slow_ratio - 1.0) * 100);
+  describe(threshold, slowdowns);
+  describe("improvements", improvements);
+  if (!only_in_baseline.empty()) {
+    out << "only in baseline (" << only_in_baseline.size() << "):\n";
+    for (const std::string& n : only_in_baseline) out << "  " << n << "\n";
+  }
+  if (!only_in_current.empty()) {
+    out << "only in current (" << only_in_current.size() << "):\n";
+    for (const std::string& n : only_in_current) out << "  " << n << "\n";
+  }
+  out << unchanged.size() << " within threshold\n";
+  out << (failed(options)
+              ? "RESULT: PERF REGRESSION"
+              : (slowdowns.empty() ? "RESULT: OK"
+                                   : "RESULT: SLOWDOWNS (advisory)"))
+      << "\n";
+  return out.str();
+}
+
+std::string BenchDiffReport::markdown(const BenchDiffOptions& options) const {
+  std::ostringstream out;
+  out << "### micro-benchmark diff\n\n";
+  if (slowdowns.empty() && improvements.empty()) {
+    out << "No benchmark moved beyond "
+        << format_ratio(options.slow_ratio) << ".\n";
+  } else {
+    out << "| benchmark | baseline | current | delta |\n";
+    out << "|---|---:|---:|---:|\n";
+    for (const BenchDiffEntry& e : slowdowns) {
+      out << "| :red_circle: " << e.name << " | " << format_ns(e.base_ns)
+          << " | " << format_ns(e.cur_ns) << " | " << format_ratio(e.ratio())
+          << " |\n";
+    }
+    for (const BenchDiffEntry& e : improvements) {
+      out << "| :green_circle: " << e.name << " | " << format_ns(e.base_ns)
+          << " | " << format_ns(e.cur_ns) << " | " << format_ratio(e.ratio())
+          << " |\n";
+    }
+  }
+  out << "\n" << unchanged.size() << " benchmark(s) within threshold";
+  if (!only_in_current.empty()) {
+    out << ", " << only_in_current.size() << " new";
+  }
+  if (!only_in_baseline.empty()) {
+    out << ", " << only_in_baseline.size() << " removed";
+  }
+  out << ".\n";
+  return out.str();
+}
+
+}  // namespace pilot::corpus

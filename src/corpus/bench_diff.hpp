@@ -1,0 +1,87 @@
+/// \file bench_diff.hpp
+/// Comparator for google-benchmark JSON artifacts (the `micro_ops.json`
+/// files the CI `bench-micro` job uploads) — the perf-gating counterpart
+/// of results_db's diff_runs: it pairs benchmarks by name between a
+/// baseline and a current run and flags slowdowns beyond a ratio
+/// threshold.
+///
+/// Accepted input is the `--benchmark_out_format=json` schema.  When a
+/// file contains aggregate rows (from --benchmark_repetitions), the
+/// median aggregate is used and per-repetition rows are ignored; plain
+/// single-run rows are used as-is.  Times are normalized to nanoseconds
+/// via each row's time_unit.
+///
+/// The report is advisory by default (CI posts it into the job summary,
+/// non-blocking); `fail_on_regress` turns regressions into a non-zero
+/// exit for local gating.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace pilot::corpus {
+
+/// One benchmark measurement: `name` is the run name ("BM_X/8"); the
+/// comparison metric is CPU time, normalized to nanoseconds (wall time is
+/// too noisy on shared CI runners to gate on).
+struct BenchEntry {
+  std::string name;
+  double cpu_time_ns = 0.0;
+};
+
+/// Parses a google-benchmark JSON document into one entry per benchmark,
+/// preferring median aggregates when present.  Throws std::runtime_error
+/// on documents without a "benchmarks" array.
+[[nodiscard]] std::vector<BenchEntry> parse_benchmark_json(
+    const json::Value& doc);
+
+/// parse_benchmark_json over a file.  Throws on I/O or parse errors.
+[[nodiscard]] std::vector<BenchEntry> load_benchmark_json(
+    const std::string& path);
+
+struct BenchDiffOptions {
+  /// cur/base CPU-time ratio flagged as a slowdown (1.25 = +25%).
+  double slow_ratio = 1.25;
+  /// Symmetric ratio for reporting improvements (informational).
+  double fast_ratio = 1.25;
+  /// Ignore rows whose slower side is below this (filters timer noise).
+  double min_time_ns = 100.0;
+  /// Exit non-zero when slowdowns exist (default: advisory report only).
+  bool fail_on_regress = false;
+};
+
+struct BenchDiffEntry {
+  std::string name;
+  double base_ns = 0.0;
+  double cur_ns = 0.0;
+  /// cur/base (> 1 is slower).
+  [[nodiscard]] double ratio() const {
+    return base_ns > 0.0 ? cur_ns / base_ns : 0.0;
+  }
+};
+
+struct BenchDiffReport {
+  std::vector<BenchDiffEntry> slowdowns;     // beyond slow_ratio
+  std::vector<BenchDiffEntry> improvements;  // informational
+  std::vector<BenchDiffEntry> unchanged;
+  std::vector<std::string> only_in_baseline;
+  std::vector<std::string> only_in_current;
+
+  [[nodiscard]] bool failed(const BenchDiffOptions& options) const {
+    return options.fail_on_regress && !slowdowns.empty();
+  }
+  /// Human-readable multi-line report.
+  [[nodiscard]] std::string summary(const BenchDiffOptions& options) const;
+  /// GitHub-flavored markdown table (for $GITHUB_STEP_SUMMARY).
+  [[nodiscard]] std::string markdown(const BenchDiffOptions& options) const;
+};
+
+/// Pairs benchmarks by name and classifies each by CPU-time ratio.
+[[nodiscard]] BenchDiffReport diff_benchmarks(
+    const std::vector<BenchEntry>& baseline,
+    const std::vector<BenchEntry>& current,
+    const BenchDiffOptions& options);
+
+}  // namespace pilot::corpus

@@ -25,6 +25,19 @@ json::Value stats_to_json(const ic3::Ic3Stats& s) {
   o["mic_queries"] = s.num_mic_queries;
   o["push_queries"] = s.num_push_queries;
   o["max_frame"] = s.max_frame;
+  // SAT hot-path counters (PR 4): campaigns quantify the solver-layer
+  // optimizations — total propagation work, trail-reuse savings, binary
+  // watch hits, glue clauses — per (case × engine) row.
+  o["sat_solve_calls"] = s.sat_solve_calls;
+  o["sat_propagations"] = s.sat_propagations;
+  o["sat_conflicts"] = s.sat_conflicts;
+  o["sat_decisions"] = s.sat_decisions;
+  o["sat_db_reductions"] = s.sat_db_reductions;
+  o["sat_trail_reuse_hits"] = s.sat_trail_reuse_hits;
+  o["sat_saved_propagations"] = s.sat_saved_propagations;
+  o["sat_binary_propagations"] = s.sat_binary_propagations;
+  o["sat_glue_learnts"] = s.sat_glue_learnts;
+  o["solver_rebuilds"] = s.num_solver_rebuilds;
   return json::Value(std::move(o));
 }
 
@@ -39,6 +52,18 @@ ic3::Ic3Stats stats_from_json(const json::Value& v) {
   s.num_mic_queries = v.at("mic_queries").as_uint();
   s.num_push_queries = v.at("push_queries").as_uint();
   s.max_frame = v.at("max_frame").as_uint();
+  // Absent in rows written before the SAT-layer counters existed; at()
+  // returns a null Value whose as_uint() falls back to 0.
+  s.sat_solve_calls = v.at("sat_solve_calls").as_uint();
+  s.sat_propagations = v.at("sat_propagations").as_uint();
+  s.sat_conflicts = v.at("sat_conflicts").as_uint();
+  s.sat_decisions = v.at("sat_decisions").as_uint();
+  s.sat_db_reductions = v.at("sat_db_reductions").as_uint();
+  s.sat_trail_reuse_hits = v.at("sat_trail_reuse_hits").as_uint();
+  s.sat_saved_propagations = v.at("sat_saved_propagations").as_uint();
+  s.sat_binary_propagations = v.at("sat_binary_propagations").as_uint();
+  s.sat_glue_learnts = v.at("sat_glue_learnts").as_uint();
+  s.num_solver_rebuilds = v.at("solver_rebuilds").as_uint();
   return s;
 }
 

@@ -66,6 +66,7 @@ class BmcBackend final : public Backend {
     bmc::BmcResult r = bmc::run_bmc(ts_, options_, deadline, cancel);
     EngineResult out;
     out.seconds = r.seconds;
+    out.stats.absorb_sat(r.sat_stats);
     // kBoundReached is BMC completing on its own; kUnknown is an abort.
     out.interrupted = r.verdict == bmc::BmcVerdict::kUnknown;
     if (r.verdict == bmc::BmcVerdict::kUnsafe) {
@@ -98,6 +99,7 @@ class KinductionBackend final : public Backend {
     bmc::KindResult r = bmc::run_kinduction(ts_, options_, deadline, cancel);
     EngineResult out;
     out.seconds = r.seconds;
+    out.stats.absorb_sat(r.sat_stats);
     out.interrupted = r.verdict == bmc::KindVerdict::kUnknown;
     if (r.k >= 0) out.frames = static_cast<std::size_t>(r.k);
     if (r.verdict == bmc::KindVerdict::kSafe) out.verdict = ic3::Verdict::kSafe;

@@ -64,6 +64,17 @@ struct Config {
   /// literals (controls junk accumulation).
   std::size_t rebuild_tmp_threshold = 3000;
 
+  // --- SAT layer tuning ---
+  /// Assumption-prefix trail reuse in the CDCL core: keep the solver trail
+  /// between queries and re-propagate only the diverging assumption suffix.
+  /// On by default; the off position exists for A/B measurement and for
+  /// the verdict-equivalence tests.
+  bool sat_trail_reuse = true;
+  /// Carry saved phases and (normalized) variable activities into the
+  /// fresh solver when maybe_rebuild() retires one, instead of restarting
+  /// the search heuristics from zero.
+  bool rebuild_carry_state = true;
+
   std::uint64_t seed = 0;
 
   /// Applies a named profile on top of the defaults.

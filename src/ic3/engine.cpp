@@ -105,6 +105,7 @@ Result Engine::check(Deadline deadline, const CancelToken* cancel) {
   result.frames = stats_.max_frame;
   result.seconds = total.seconds();
   stats_.time_total = result.seconds;
+  stats_.absorb_sat(solvers_.sat_stats());
   result.stats = stats_;
   return result;
 }

@@ -1,5 +1,7 @@
 #include "ic3/solver_manager.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace pilot::ic3 {
@@ -9,6 +11,7 @@ SolverManager::SolverManager(const TransitionSystem& ts, const Config& cfg,
     : ts_(ts), cfg_(cfg), stats_(stats) {
   solver_ = std::make_unique<sat::Solver>();
   solver_->set_seed(cfg_.seed);
+  solver_->set_trail_reuse(cfg_.sat_trail_reuse);
   install_base();
 }
 
@@ -37,9 +40,12 @@ void SolverManager::add_lemma_clause(const Cube& cube, std::size_t level) {
 }
 
 std::vector<Lit> SolverManager::frame_assumptions(std::size_t level) const {
+  // Descending activation order: every query assumes the same act_top,
+  // act_top-1, … head, so consecutive queries — even at different levels —
+  // share the longest possible prefix for the solver's trail reuse.
   std::vector<Lit> assumptions;
   assumptions.reserve(act_vars_.size() - level);
-  for (std::size_t j = level; j < act_vars_.size(); ++j) {
+  for (std::size_t j = act_vars_.size(); j-- > level;) {
     assumptions.push_back(act(j));
   }
   return assumptions;
@@ -64,6 +70,11 @@ bool SolverManager::relative_inductive(const Cube& c, std::size_t level,
   Lit tmp = sat::kLitUndef;
   if (!cube_clause_in_frame) {
     tmp = Lit::make(solver_->new_var());
+    // The throw-away activation variable is never decided on and never
+    // assumed again after this query, which leaves the temporary clause
+    // permanently inert — no retiring unit clause is needed, so the kept
+    // trail (and with it the assumption-prefix reuse) survives the query.
+    solver_->set_decision_var(tmp.var(), false);
     std::vector<Lit> clause = c.negated_lits();
     clause.push_back(~tmp);
     solver_->add_clause(clause);
@@ -72,10 +83,7 @@ bool SolverManager::relative_inductive(const Cube& c, std::size_t level,
   for (const Lit l : c) assumptions.push_back(ts_.prime(l));
 
   const sat::SolveResult res = solver_->solve(assumptions, deadline);
-  if (!cube_clause_in_frame) {
-    solver_->add_unit(~tmp);  // retire the temporary clause
-    ++retired_tmp_;
-  }
+  if (!cube_clause_in_frame) ++retired_tmp_;
   if (res == sat::SolveResult::kUnknown) throw TimeoutError{};
   if (res == sat::SolveResult::kSat) return false;
   if (core_out != nullptr) *core_out = shrink_with_core(c);
@@ -147,10 +155,42 @@ std::vector<Lit> SolverManager::model_inputs() const {
   return lits;
 }
 
+void SolverManager::carry_solver_state(const sat::Solver& old,
+                                       const std::vector<Var>& old_acts) {
+  // Phase saving and VSIDS activities represent everything the retired
+  // solver learned about where the search lives; starting the fresh solver
+  // from them avoids re-warming the heuristics after every rebuild.
+  // Encoding variables keep their indices across rebuilds; activation
+  // literals are mapped level-by-level.  Activities are normalized so the
+  // imported values sit in [0, 1] against the fresh solver's unit bump.
+  const double max_act = old.max_activity();
+  const double scale = max_act > 0.0 ? 1.0 / max_act : 0.0;
+  std::uint64_t carried = 0;
+  const Var encoding_vars = std::min<Var>(
+      static_cast<Var>(ts_.num_encoding_vars()), solver_->num_vars());
+  for (Var v = 0; v < encoding_vars; ++v) {
+    solver_->set_phase(v, old.saved_phase(v));
+    if (scale > 0.0) solver_->set_activity(v, old.activity(v) * scale);
+    ++carried;
+  }
+  for (std::size_t j = 0; j < act_vars_.size() && j < old_acts.size(); ++j) {
+    solver_->set_phase(act_vars_[j], old.saved_phase(old_acts[j]));
+    if (scale > 0.0) {
+      solver_->set_activity(act_vars_[j], old.activity(old_acts[j]) * scale);
+    }
+    ++carried;
+  }
+  stats_.num_rebuild_carried_phases += carried;
+}
+
 void SolverManager::rebuild(const Frames& frames) {
   const std::size_t levels = act_vars_.size();
+  const std::unique_ptr<sat::Solver> old = std::move(solver_);
+  const std::vector<Var> old_acts = std::move(act_vars_);
+  retired_sat_stats_ += old->stats();
   solver_ = std::make_unique<sat::Solver>();
   solver_->set_seed(cfg_.seed);
+  solver_->set_trail_reuse(cfg_.sat_trail_reuse);
   install_base();
   ensure_level(levels == 0 ? 0 : levels - 1);
   for (std::size_t j = 1; j <= frames.top_level(); ++j) {
@@ -158,6 +198,7 @@ void SolverManager::rebuild(const Frames& frames) {
       add_lemma_clause(c, j);
     }
   }
+  if (cfg_.rebuild_carry_state) carry_solver_state(*old, old_acts);
   ++stats_.num_solver_rebuilds;
   PILOT_DEBUG("solver rebuilt; lemmas=" << frames.total_lemmas());
 }

@@ -7,10 +7,18 @@
 /// R_i = ⋂_{j≥i} delta(j) simply assumes act_j for all j ≥ i; pushing a
 /// lemma re-adds its clause under the higher activation literal.
 ///
+/// The assumption vector is built in a canonical order tuned for the
+/// solver's assumption-prefix trail reuse: activation literals first, in
+/// *descending* level order (act_top … act_level), then the per-query
+/// literals (temporary activation, primed cube).  Queries at nearby levels
+/// — the generalization hot loop — then share the longest possible prefix
+/// and skip its re-propagation entirely.
+///
 /// Temporary clauses (the ¬c part of a relative-induction query) get a
-/// fresh throw-away activation variable which is retired with a unit clause
-/// afterwards; the solver is rebuilt from the frames once enough junk has
-/// accumulated.
+/// fresh throw-away activation variable that is excluded from decisions
+/// and never assumed again, which leaves the clause inert; the solver is
+/// rebuilt from the frames once enough junk has accumulated, carrying
+/// saved phases and activities over so the search heuristics survive.
 #pragma once
 
 #include <memory>
@@ -66,23 +74,31 @@ class SolverManager {
   /// Input literals from the last SAT model.
   [[nodiscard]] std::vector<Lit> model_inputs() const;
 
-  /// Rebuilds the solver from scratch with the lemmas in `frames`.
+  /// Rebuilds the solver from scratch with the lemmas in `frames`,
+  /// carrying phases/activities over when Config::rebuild_carry_state.
   void rebuild(const Frames& frames);
 
   /// Rebuilds if enough temporary clauses have been retired.
   void maybe_rebuild(const Frames& frames);
 
-  [[nodiscard]] const sat::SolverStats& sat_stats() const {
-    return solver_->stats();
+  /// Aggregate SAT counters across the current solver and every solver
+  /// retired by rebuild() — rebuilds do not reset the statistics.
+  [[nodiscard]] sat::SolverStats sat_stats() const {
+    sat::SolverStats out = retired_sat_stats_;
+    out += solver_->stats();
+    return out;
   }
 
  private:
   [[nodiscard]] Lit act(std::size_t level) const {
     return Lit::make(act_vars_[level]);
   }
-  /// Assumptions activating R_level: act_j for all j ≥ level.
+  /// Assumptions activating R_level: act_j for all j ≥ level, in
+  /// descending level order (see the file comment on prefix reuse).
   [[nodiscard]] std::vector<Lit> frame_assumptions(std::size_t level) const;
   void install_base();
+  void carry_solver_state(const sat::Solver& old,
+                          const std::vector<Var>& old_acts);
   Cube shrink_with_core(const Cube& c) const;
 
   const TransitionSystem& ts_;
@@ -91,6 +107,7 @@ class SolverManager {
   std::unique_ptr<sat::Solver> solver_;
   std::vector<Var> act_vars_;
   std::size_t retired_tmp_ = 0;
+  sat::SolverStats retired_sat_stats_;
   // Scratch for shrink_with_core: flags indexed by Lit::index(), marked for
   // the core's literals and cleared again on exit (avoids an O(|c|·|core|)
   // scan per call).

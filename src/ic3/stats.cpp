@@ -17,6 +17,20 @@ std::string Ic3Stats::summary() const {
         << " SR_lp=" << sr_lp() << " SR_fp=" << sr_fp()
         << " SR_adv=" << sr_adv();
   }
+  if (sat_solve_calls > 0) {
+    oss << " | sat: calls=" << sat_solve_calls
+        << " props=" << sat_propagations
+        << " conflicts=" << sat_conflicts
+        << " reuse_hits=" << sat_trail_reuse_hits
+        << " saved_props=" << sat_saved_propagations
+        << " bin_props=" << sat_binary_propagations
+        << " glue=" << sat_glue_learnts
+        << " reductions=" << sat_db_reductions
+        << " rebuilds=" << num_solver_rebuilds;
+    if (num_rebuild_carried_phases > 0) {
+      oss << " carried_vars=" << num_rebuild_carried_phases;
+    }
+  }
   return oss.str();
 }
 

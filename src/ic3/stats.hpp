@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <string>
 
+#include "sat/solver.hpp"
+
 namespace pilot::ic3 {
 
 struct Ic3Stats {
@@ -34,6 +36,38 @@ struct Ic3Stats {
   std::uint64_t num_ctg_blocked = 0;
   std::uint64_t num_solver_rebuilds = 0;
   std::uint64_t num_subsumed_lemmas = 0;
+  /// Variables whose saved phase/activity were carried into a fresh solver
+  /// by SolverManager::rebuild (Config::rebuild_carry_state).
+  std::uint64_t num_rebuild_carried_phases = 0;
+
+  // --- SAT layer (absorbed from sat::SolverStats at the end of a run) ---
+  std::uint64_t sat_solve_calls = 0;
+  std::uint64_t sat_propagations = 0;
+  std::uint64_t sat_conflicts = 0;
+  std::uint64_t sat_decisions = 0;
+  /// solve() calls that reused ≥ 1 assumption decision level.
+  std::uint64_t sat_trail_reuse_hits = 0;
+  /// Trail literals whose re-propagation trail reuse skipped.
+  std::uint64_t sat_saved_propagations = 0;
+  /// Implications served by the implicit binary watch lists.
+  std::uint64_t sat_binary_propagations = 0;
+  /// Learnt clauses with LBD ≤ 2 (glue).
+  std::uint64_t sat_glue_learnts = 0;
+  std::uint64_t sat_db_reductions = 0;
+
+  /// Copies the SAT-layer aggregate into the mirror counters above.
+  /// Idempotent — the engine calls it once per check() epilogue.
+  void absorb_sat(const sat::SolverStats& s) {
+    sat_solve_calls = s.solve_calls;
+    sat_propagations = s.propagations;
+    sat_conflicts = s.conflicts;
+    sat_decisions = s.decisions;
+    sat_trail_reuse_hits = s.trail_reuse_hits;
+    sat_saved_propagations = s.saved_propagations;
+    sat_binary_propagations = s.binary_propagations;
+    sat_glue_learnts = s.glue_learnts;
+    sat_db_reductions = s.db_reductions;
+  }
 
   // --- timing (seconds) ---
   double time_total = 0.0;

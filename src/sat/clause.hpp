@@ -7,6 +7,12 @@
 /// reduce_db() frees learnt clauses and, once enough of the arena is dead,
 /// the solver copies live clauses into a fresh arena and patches every
 /// reference through relocation forwarding.
+///
+/// Learnt clauses carry one extra header word holding their LBD ("glue":
+/// the number of distinct decision levels in the clause when it was
+/// learnt, Audemard & Simon, IJCAI'09) and a used-since-last-reduction
+/// flag; both drive the Glucose-style clause database reduction in
+/// sat::Solver::reduce_db.
 #pragma once
 
 #include <cassert>
@@ -28,7 +34,8 @@ inline constexpr ClauseRef kClauseRefUndef = 0xFFFFFFFFu;
 /// Layout (32-bit words):
 ///   word 0: size << 3 | learnt << 2 | relocated << 1 | has_extra
 ///   word 1: float activity (learnt) or forwarding ref (relocated)
-///   word 2..: literals
+///   word 2 (learnt only): used << 31 | lbd
+///   then:   literals
 class Clause {
  public:
   [[nodiscard]] std::uint32_t size() const { return header_ >> 3; }
@@ -54,16 +61,45 @@ class Clause {
   }
   void set_activity(float a) { std::memcpy(&extra_, &a, sizeof(a)); }
 
+  /// LBD (glue) of a learnt clause; kLbdMax caps the stored value.
+  static constexpr std::uint32_t kLbdMax = 0x7FFFFFFFu;
+  [[nodiscard]] std::uint32_t lbd() const {
+    assert(learnt());
+    return words()[2] & kLbdMax;
+  }
+  void set_lbd(std::uint32_t lbd) {
+    assert(learnt());
+    words()[2] = (words()[2] & ~kLbdMax) | (lbd < kLbdMax ? lbd : kLbdMax);
+  }
+  /// Used-since-last-reduction flag: set when the clause participates in
+  /// conflict analysis, cleared (and the clause kept) by reduce_db.
+  [[nodiscard]] bool used() const {
+    assert(learnt());
+    return (words()[2] >> 31) != 0;
+  }
+  void set_used(bool u) {
+    assert(learnt());
+    words()[2] = (words()[2] & kLbdMax) | (u ? 0x80000000u : 0u);
+  }
+
   void set_relocation(ClauseRef forward) {
     header_ |= 2;
     extra_ = forward;
   }
   [[nodiscard]] ClauseRef relocation() const { return extra_; }
 
-  /// Removes the literal at position i by swapping in the last literal.
-  void swap_remove(std::uint32_t i) {
-    lits()[i] = lits()[size() - 1];
-    header_ -= 8;  // size -= 1
+  // NOTE: in-place literal removal (MiniSat's strengthening shrink) is
+  // deliberately absent: the solver's watch lists dispatch on size() == 2,
+  // so a clause shrinking from 3 to 2 literals while attached would be
+  // left in the wrong watch structure.  Strengthen by realloc + reattach.
+
+  /// Arena words occupied by a clause of `size` literals.
+  static constexpr std::uint32_t words_needed(std::uint32_t size,
+                                              bool learnt) {
+    return 2 + (learnt ? 1u : 0u) + size;
+  }
+  [[nodiscard]] std::uint32_t words_used() const {
+    return words_needed(size(), learnt());
   }
 
  private:
@@ -73,20 +109,26 @@ class Clause {
     header_ = (static_cast<std::uint32_t>(literals.size()) << 3) |
               (learnt ? 4u : 0u) | 1u;
     extra_ = 0;
+    if (learnt) words()[2] = 0;  // lbd = 0, used = false
     std::memcpy(lits(), literals.data(), literals.size() * sizeof(Lit));
   }
 
-  Lit* lits() {
-    return reinterpret_cast<Lit*>(reinterpret_cast<std::uint32_t*>(this) + 2);
+  // Literals start after the header words; learnt clauses have one more.
+  [[nodiscard]] std::uint32_t header_words() const {
+    return 2 + ((header_ >> 2) & 1);
   }
+  std::uint32_t* words() { return reinterpret_cast<std::uint32_t*>(this); }
+  const std::uint32_t* words() const {
+    return reinterpret_cast<const std::uint32_t*>(this);
+  }
+  Lit* lits() { return reinterpret_cast<Lit*>(words() + header_words()); }
   const Lit* lits() const {
-    return reinterpret_cast<const Lit*>(
-        reinterpret_cast<const std::uint32_t*>(this) + 2);
+    return reinterpret_cast<const Lit*>(words() + header_words());
   }
 
   std::uint32_t header_;
   std::uint32_t extra_;
-  // literals follow inline
+  // optional lbd word (learnt) and literals follow inline
 };
 
 /// Bump allocator for clauses with relocation GC support.
@@ -96,8 +138,8 @@ class ClauseArena {
 
   /// Allocates a clause; returns its reference.
   ClauseRef alloc(std::span<const Lit> literals, bool learnt) {
-    const std::uint32_t need =
-        2 + static_cast<std::uint32_t>(literals.size());
+    const std::uint32_t need = Clause::words_needed(
+        static_cast<std::uint32_t>(literals.size()), learnt);
     const ClauseRef ref = static_cast<ClauseRef>(memory_.size());
     memory_.resize(memory_.size() + need);
     new (&memory_[ref]) Clause(literals, learnt);
@@ -115,7 +157,7 @@ class ClauseArena {
 
   /// Marks a clause's storage as garbage (space reclaimed at next gc).
   void free_clause(ClauseRef ref) {
-    wasted_ += 2 + deref(ref).size();
+    wasted_ += deref(ref).words_used();
   }
 
   /// Copies the clause at `ref` into `target`, recording the forwarding
@@ -126,7 +168,12 @@ class ClauseArena {
     if (c.relocated()) return c.relocation();
     const ClauseRef fresh =
         target.alloc(std::span<const Lit>(c.begin(), c.size()), c.learnt());
-    if (c.learnt()) target.deref(fresh).set_activity(c.activity());
+    if (c.learnt()) {
+      Clause& moved = target.deref(fresh);
+      moved.set_activity(c.activity());
+      moved.set_lbd(c.lbd());
+      moved.set_used(c.used());
+    }
     c.set_relocation(fresh);
     return fresh;
   }

@@ -49,6 +49,14 @@ class ActivityHeap {
     if (contains(v)) sift_up(position_[v]);
   }
 
+  /// Re-establishes heap order after activity_[v] changed arbitrarily
+  /// (e.g. bulk activity import when a solver is rebuilt).
+  void update(Var v) {
+    if (!contains(v)) return;
+    sift_up(position_[v]);
+    sift_down(position_[v]);
+  }
+
   /// Removes and returns the variable of maximal activity.
   Var pop_max() {
     assert(!heap_.empty());

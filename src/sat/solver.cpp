@@ -32,6 +32,8 @@ Var Solver::new_var() {
   const Var v = num_vars();
   watches_.emplace_back();
   watches_.emplace_back();
+  bin_watches_.emplace_back();
+  bin_watches_.emplace_back();
   assigns_.push_back(l_Undef);
   vardata_.push_back({});
   polarity_.push_back(1);  // MiniSat default: branch on the negative phase
@@ -48,8 +50,26 @@ void Solver::set_decision_var(Var v, bool decide) {
   if (decide && value(v).is_undef()) order_heap_.insert(v);
 }
 
+void Solver::set_activity(Var v, double a) {
+  activity_[v] = a;
+  order_heap_.update(v);
+}
+
+double Solver::max_activity() const {
+  double m = 0.0;
+  for (const double a : activity_) m = std::max(m, a);
+  return m;
+}
+
+void Solver::set_trail_reuse(bool on) {
+  trail_reuse_ = on;
+  if (!on) {
+    cancel_until(0);
+    prev_assumptions_.clear();
+  }
+}
+
 bool Solver::add_clause(std::span<const Lit> literals) {
-  assert(decision_level() == 0);
   if (!ok_) return false;
   std::vector<Lit> lits(literals.begin(), literals.end());
   std::sort(lits.begin(), lits.end());
@@ -57,8 +77,11 @@ bool Solver::add_clause(std::span<const Lit> literals) {
   Lit prev = kLitUndef;
   for (const Lit l : lits) {
     assert(l.var() >= 0 && l.var() < num_vars());
-    if (value(l) == l_True || l == ~prev) return true;  // satisfied/tautology
-    if (value(l) != l_False && l != prev) {
+    // Only root-level (decision level 0) values may simplify the clause:
+    // with trail reuse a partial assumption trail can be in place, and its
+    // assignments are not permanent.
+    if (root_value_is(l, l_True) || l == ~prev) return true;
+    if (!root_value_is(l, l_False) && l != prev) {
       lits[j++] = l;
       prev = l;
     }
@@ -69,9 +92,26 @@ bool Solver::add_clause(std::span<const Lit> literals) {
     return false;
   }
   if (lits.size() == 1) {
+    // Units live at the root; drop any kept trail first.
+    cancel_until(0);
+    if (value(lits[0]) == l_True) return true;
+    if (value(lits[0]) == l_False) {
+      ok_ = false;
+      return false;
+    }
     unchecked_enqueue(lits[0]);
     ok_ = (propagate() == kClauseRefUndef);
     return ok_;
+  }
+  if (decision_level() > 0) {
+    // Attach in place when two non-false watches exist under the current
+    // partial assignment; otherwise the clause would be unit/conflicting
+    // mid-trail, so fall back to the root (reuse is lost, soundness kept).
+    std::size_t nonfalse = 0;
+    for (std::size_t i = 0; i < lits.size() && nonfalse < 2; ++i) {
+      if (value(lits[i]) != l_False) std::swap(lits[i], lits[nonfalse++]);
+    }
+    if (nonfalse < 2) cancel_until(0);
   }
   const ClauseRef ref = arena_.alloc(lits, /*learnt=*/false);
   clauses_.push_back(ref);
@@ -82,12 +122,34 @@ bool Solver::add_clause(std::span<const Lit> literals) {
 void Solver::attach_clause(ClauseRef ref) {
   const Clause& c = arena_.deref(ref);
   assert(c.size() >= 2);
+  if (c.size() == 2) {
+    // Implicit binary watch: the partner literal rides in the watcher, so
+    // propagation over 2-literal clauses never touches the arena.
+    bin_watches_[(~c[0]).index()].push_back({c[1], ref});
+    bin_watches_[(~c[1]).index()].push_back({c[0], ref});
+    return;
+  }
   watches_[(~c[0]).index()].push_back({ref, c[1]});
   watches_[(~c[1]).index()].push_back({ref, c[0]});
 }
 
 void Solver::detach_clause(ClauseRef ref) {
   const Clause& c = arena_.deref(ref);
+  if (c.size() == 2) {
+    auto erase_bin = [&](std::vector<BinWatcher>& ws) {
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        if (ws[i].cref == ref) {
+          ws[i] = ws.back();
+          ws.pop_back();
+          return;
+        }
+      }
+      assert(false && "binary watcher not found");
+    };
+    erase_bin(bin_watches_[(~c[0]).index()]);
+    erase_bin(bin_watches_[(~c[1]).index()]);
+    return;
+  }
   auto erase_from = [&](std::vector<Watcher>& ws) {
     for (std::size_t i = 0; i < ws.size(); ++i) {
       if (ws[i].cref == ref) {
@@ -146,10 +208,29 @@ ClauseRef Solver::propagate() {
   ClauseRef confl = kClauseRefUndef;
   while (qhead_ < static_cast<std::int32_t>(trail_.size())) {
     const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+
+    // --- binary clauses: watcher-resident partner literal, no arena ---
+    const auto& bws = bin_watches_[p.index()];
+    for (const BinWatcher& bw : bws) {
+      const LBool v = value(bw.other);
+      if (v == l_True) continue;
+      if (v == l_False) {
+        qhead_ = static_cast<std::int32_t>(trail_.size());
+        return bw.cref;
+      }
+      ++stats_.binary_propagations;
+      // Maintain the reason invariant (c[0] = implied literal) so conflict
+      // analysis can skip index 0 when walking reasons.
+      Clause& c = arena_.deref(bw.cref);
+      if (c[0] != bw.other) std::swap(c[0], c[1]);
+      unchecked_enqueue(bw.other, bw.cref);
+    }
+
+    // --- clauses of three or more literals ---
     auto& ws = watches_[p.index()];
     std::size_t i = 0;
     std::size_t j = 0;
-    ++stats_.propagations;
     while (i < ws.size()) {
       const Watcher w = ws[i];
       // Blocker check avoids touching the clause in the common case.
@@ -193,6 +274,7 @@ ClauseRef Solver::propagate() {
       }
     }
     ws.resize(j);
+    if (confl != kClauseRefUndef) break;
   }
   return confl;
 }
@@ -216,6 +298,21 @@ void Solver::cla_bump_activity(Clause& c) {
   }
 }
 
+std::uint32_t Solver::compute_lbd(std::span<const Lit> lits) {
+  ++lbd_counter_;
+  std::uint32_t distinct = 0;
+  for (const Lit l : lits) {
+    const auto lev = static_cast<std::size_t>(level(l.var()));
+    if (lev == 0) continue;  // root-fixed literals don't count toward glue
+    if (lev >= lbd_stamp_.size()) lbd_stamp_.resize(lev + 1, 0);
+    if (lbd_stamp_[lev] != lbd_counter_) {
+      lbd_stamp_[lev] = lbd_counter_;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
 void Solver::analyze(ClauseRef confl, std::vector<Lit>& out_learnt,
                      std::int32_t& out_btlevel) {
   int path_count = 0;
@@ -226,7 +323,21 @@ void Solver::analyze(ClauseRef confl, std::vector<Lit>& out_learnt,
   do {
     assert(confl != kClauseRefUndef);
     Clause& c = arena_.deref(confl);
-    if (c.learnt()) cla_bump_activity(c);
+    if (c.learnt()) {
+      cla_bump_activity(c);
+      // Tier protection: a clause involved in conflict analysis survives
+      // the next reduce_db round.  Its LBD is also re-evaluated — clauses
+      // whose glue improves move toward the protected end of the order.
+      c.set_used(true);
+      if (c.lbd() > 2) {
+        const std::uint32_t fresh =
+            compute_lbd(std::span<const Lit>(c.begin(), c.size()));
+        if (fresh < c.lbd()) {
+          c.set_lbd(fresh);
+          ++stats_.lbd_updates;
+        }
+      }
+    }
     for (std::uint32_t j = p.is_undef() ? 0 : 1; j < c.size(); ++j) {
       const Lit q = c[j];
       if (!seen_[q.var()] && level(q.var()) > 0) {
@@ -361,24 +472,35 @@ Lit Solver::pick_branch_lit() {
 void Solver::reduce_db() {
   ++stats_.db_reductions;
   if (learnts_.empty()) return;
-  const double extra_lim = cla_inc_ / static_cast<double>(learnts_.size());
-  // Remove the least active half, keeping binary and locked clauses.
+  // Glucose-style reduction: order by LBD (highest first), ties broken by
+  // activity (lowest first), and drop the worst half.  Protected outright:
+  // glue clauses (LBD ≤ 2), binary clauses, and locked clauses (reasons on
+  // the trail).  Clauses used in conflict analysis since the last
+  // reduction get one more round: the used flag is cleared and the clause
+  // kept, so a hot learnt must go cold before it can be collected.
   std::sort(learnts_.begin(), learnts_.end(),
             [&](ClauseRef a, ClauseRef b) {
               const Clause& x = arena_.deref(a);
               const Clause& y = arena_.deref(b);
-              if (x.size() > 2 && y.size() == 2) return true;
-              if (x.size() == 2) return false;
+              if (x.lbd() != y.lbd()) return x.lbd() > y.lbd();
               return x.activity() < y.activity();
             });
+  const std::size_t target_remove = learnts_.size() / 2;
+  std::size_t removed = 0;
   std::size_t j = 0;
   for (std::size_t i = 0; i < learnts_.size(); ++i) {
-    const Clause& c = arena_.deref(learnts_[i]);
-    if (c.size() > 2 && !clause_locked(learnts_[i]) &&
-        (i < learnts_.size() / 2 || c.activity() < extra_lim)) {
-      remove_clause(learnts_[i]);
-    } else {
+    Clause& c = arena_.deref(learnts_[i]);
+    const bool removable =
+        c.size() > 2 && c.lbd() > 2 && !clause_locked(learnts_[i]);
+    if (!removable || removed >= target_remove) {
       learnts_[j++] = learnts_[i];
+    } else if (c.used()) {
+      c.set_used(false);
+      ++stats_.protected_learnts;
+      learnts_[j++] = learnts_[i];
+    } else {
+      remove_clause(learnts_[i]);
+      ++removed;
     }
   }
   learnts_.resize(j);
@@ -398,7 +520,7 @@ void Solver::remove_satisfied(std::vector<ClauseRef>& refs) {
 }
 
 void Solver::simplify() {
-  assert(decision_level() == 0);
+  cancel_until(0);  // satisfied-clause removal is only sound at the root
   if (!ok_) return;
   if (propagate() != kClauseRefUndef) {
     ok_ = false;
@@ -421,6 +543,9 @@ void Solver::relocate_all(ClauseArena& target) {
   for (auto& ws : watches_) {
     for (auto& w : ws) w.cref = arena_.relocate(w.cref, target);
   }
+  for (auto& ws : bin_watches_) {
+    for (auto& w : ws) w.cref = arena_.relocate(w.cref, target);
+  }
   for (const Lit p : trail_) {
     const Var v = p.var();
     if (vardata_[v].reason != kClauseRefUndef) {
@@ -436,6 +561,8 @@ SolveResult Solver::search(std::int64_t conflicts_allowed,
                            std::uint64_t conflicts_start) {
   std::int64_t conflict_count = 0;
   std::vector<Lit> learnt_clause;
+  const auto assumption_levels =
+      static_cast<std::int32_t>(assumptions_.size());
 
   for (;;) {
     const ClauseRef confl = propagate();
@@ -449,11 +576,18 @@ SolveResult Solver::search(std::int64_t conflicts_allowed,
       learnt_clause.clear();
       std::int32_t backtrack_level = 0;
       analyze(confl, learnt_clause, backtrack_level);
+      // LBD is computed before backtracking, while every literal of the
+      // learnt clause still has a valid level.
+      const std::uint32_t lbd = compute_lbd(learnt_clause);
       cancel_until(backtrack_level);
       if (learnt_clause.size() == 1) {
         unchecked_enqueue(learnt_clause[0]);
       } else {
         const ClauseRef cr = arena_.alloc(learnt_clause, /*learnt=*/true);
+        Clause& c = arena_.deref(cr);
+        c.set_lbd(lbd);
+        c.set_used(true);  // fresh learnts survive the next reduction
+        if (lbd <= 2) ++stats_.glue_learnts;
         learnts_.push_back(cr);
         attach_clause(cr);
         cla_bump_activity(arena_.deref(cr));
@@ -468,18 +602,20 @@ SolveResult Solver::search(std::int64_t conflicts_allowed,
         max_learnts_ *= 1.1;
       }
       if ((stats_.conflicts & 511) == 0 && deadline.expired()) {
-        cancel_until(0);
-        return SolveResult::kUnknown;
+        return SolveResult::kUnknown;  // solve() keeps the assumption prefix
       }
     } else {
-      if (conflict_count >= conflicts_allowed ||
-          (conflict_budget_ != 0 &&
-           stats_.conflicts - conflicts_start >= conflict_budget_)) {
-        cancel_until(0);
+      if (conflict_budget_ != 0 &&
+          stats_.conflicts - conflicts_start >= conflict_budget_) {
+        return SolveResult::kUnknown;  // caller's budget: give up in place
+      }
+      if (conflict_count >= conflicts_allowed) {
+        // Luby restart: drop only the search decisions; the propagated
+        // assumption prefix is still valid and is kept.
+        cancel_until(std::min(decision_level(), assumption_levels));
         return SolveResult::kUnknown;
       }
       if ((stats_.decisions & 1023) == 0 && deadline.expired()) {
-        cancel_until(0);
         return SolveResult::kUnknown;
       }
       if (static_cast<double>(learnts_.size()) -
@@ -521,7 +657,30 @@ SolveResult Solver::solve(std::span<const Lit> assumptions,
   model_.clear();
   core_.clear();
   if (!ok_) return SolveResult::kUnsat;
+
+  // Assumption-prefix trail reuse: the previous call left its assumption
+  // decision levels (and their propagations) on the trail.  Backtrack only
+  // to the first level whose assumption differs from this call's, so a
+  // shared prefix — IC3's act_j activation literals — is not re-propagated.
+  std::int32_t keep = 0;
+  if (trail_reuse_) {
+    const auto common = static_cast<std::int32_t>(
+        std::min(prev_assumptions_.size(), assumptions.size()));
+    const std::int32_t limit = std::min(decision_level(), common);
+    while (keep < limit &&
+           prev_assumptions_[static_cast<std::size_t>(keep)] ==
+               assumptions[static_cast<std::size_t>(keep)]) {
+      ++keep;
+    }
+  }
+  cancel_until(keep);
+  if (keep > 0) {
+    ++stats_.trail_reuse_hits;
+    stats_.reused_levels += static_cast<std::uint64_t>(keep);
+    stats_.saved_propagations += trail_.size() - trail_lim_[0];
+  }
   assumptions_.assign(assumptions.begin(), assumptions.end());
+  prev_assumptions_.assign(assumptions.begin(), assumptions.end());
   max_learnts_ = std::max(
       {max_learnts_, static_cast<double>(clauses_.size()) / 3.0, 2000.0});
   const std::uint64_t conflicts_start = stats_.conflicts;
@@ -543,7 +702,14 @@ SolveResult Solver::solve(std::span<const Lit> assumptions,
   if (status == SolveResult::kSat) {
     model_.assign(assigns_.begin(), assigns_.end());
   }
-  cancel_until(0);
+  // Keep the assumption prefix (levels 1..|assumptions|) for the next call;
+  // search decisions above it are dropped.  Without reuse, everything goes.
+  if (trail_reuse_ && ok_) {
+    cancel_until(std::min(
+        decision_level(), static_cast<std::int32_t>(assumptions_.size())));
+  } else {
+    cancel_until(0);
+  }
   assumptions_.clear();
   return status;
 }

@@ -1,17 +1,26 @@
 /// \file solver.hpp
-/// Incremental CDCL SAT solver (MiniSat lineage).
+/// Incremental CDCL SAT solver (MiniSat lineage), tuned for the query
+/// pattern IC3 generates.
 ///
 /// Features relevant to the IC3 engine built on top of it:
 ///   * incremental clause addition and solving under assumptions,
+///   * assumption-prefix trail reuse: the trail survives between solve()
+///     calls and only the decision levels whose assumptions diverge from
+///     the previous call are re-propagated — IC3's long shared activation
+///     prefixes (act_j for all j ≥ level) become near-free,
 ///   * final-conflict analysis producing an unsat core over assumptions
 ///     (used for cube shrinking and lifting in IC3),
 ///   * phase hints (IC3 seeds predecessor searches with cube polarities),
 ///   * cooperative deadlines so model-checking budgets abort SAT calls.
 ///
-/// Algorithmically: two-watched-literal propagation, first-UIP conflict
-/// analysis with clause minimization, EVSIDS variable activities with an
-/// indexed heap, phase saving, Luby restarts, and activity-driven learnt
-/// clause database reduction with arena garbage collection.
+/// Algorithmically: two-watched-literal propagation with implicit binary
+/// clause watches (2-literal clauses propagate from the watch list alone,
+/// never touching the arena), first-UIP conflict analysis with clause
+/// minimization, EVSIDS variable activities with an indexed heap, phase
+/// saving, Luby restarts, and Glucose-style learnt clause database
+/// reduction: LBD ("glue") tracking with glue ≤ 2 protected, ties broken
+/// by activity, and clauses used since the last reduction survive one
+/// extra round.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +46,45 @@ struct SolverStats {
   std::uint64_t db_reductions = 0;
   std::uint64_t gc_runs = 0;
   std::uint64_t solve_calls = 0;
+  // --- IC3-shaped hot-path counters ---
+  /// solve() calls that reused ≥ 1 assumption level from the kept trail.
+  std::uint64_t trail_reuse_hits = 0;
+  /// Total assumption decision levels reused across all solve() calls.
+  std::uint64_t reused_levels = 0;
+  /// Trail literals kept at reuse points: propagations a from-scratch
+  /// solver would have redone.
+  std::uint64_t saved_propagations = 0;
+  /// Implications produced by the implicit binary watch lists.
+  std::uint64_t binary_propagations = 0;
+  /// Learnt clauses with LBD ≤ 2 ("glue" clauses, never reduced away).
+  std::uint64_t glue_learnts = 0;
+  /// LBD improvements on reuse in conflict analysis.
+  std::uint64_t lbd_updates = 0;
+  /// Learnts kept by reduce_db because they were used since the last
+  /// reduction (tier protection).
+  std::uint64_t protected_learnts = 0;
+
+  /// Accumulates `other` into this (used when a solver is rebuilt and its
+  /// counters must survive in the aggregate).
+  SolverStats& operator+=(const SolverStats& other) {
+    decisions += other.decisions;
+    propagations += other.propagations;
+    conflicts += other.conflicts;
+    restarts += other.restarts;
+    learnt_literals += other.learnt_literals;
+    minimized_literals += other.minimized_literals;
+    db_reductions += other.db_reductions;
+    gc_runs += other.gc_runs;
+    solve_calls += other.solve_calls;
+    trail_reuse_hits += other.trail_reuse_hits;
+    reused_levels += other.reused_levels;
+    saved_propagations += other.saved_propagations;
+    binary_propagations += other.binary_propagations;
+    glue_learnts += other.glue_learnts;
+    lbd_updates += other.lbd_updates;
+    protected_learnts += other.protected_learnts;
+    return *this;
+  }
 };
 
 class Solver {
@@ -58,7 +106,10 @@ class Solver {
 
   /// Adds a clause.  Returns false if the formula became trivially
   /// unsatisfiable at the top level.  Duplicate literals are removed and
-  /// tautologies are silently accepted.
+  /// tautologies are silently accepted.  May be called between solve()
+  /// calls without discarding the kept trail: the clause is attached in
+  /// place when it has two non-false literals under the current partial
+  /// assignment, and the solver backtracks to the root only when forced.
   bool add_clause(std::span<const Lit> literals);
   bool add_clause(std::initializer_list<Lit> literals) {
     return add_clause(std::span<const Lit>(literals.begin(), literals.size()));
@@ -100,8 +151,28 @@ class Solver {
   /// Sets the preferred phase picked when the variable is first decided.
   void set_phase(Var v, bool sign) { polarity_[v] = sign; }
 
+  /// Saved phase of a variable (true = negative), for carrying phases
+  /// across solver rebuilds.
+  [[nodiscard]] bool saved_phase(Var v) const { return polarity_[v] != 0; }
+
   /// Excludes/includes a variable from decision making.
   void set_decision_var(Var v, bool decide);
+
+  /// Current VSIDS activity of a variable (in the solver's internal,
+  /// un-normalized scale — meaningful only relative to max_activity()).
+  [[nodiscard]] double activity(Var v) const { return activity_[v]; }
+  [[nodiscard]] double max_activity() const;
+
+  /// Seeds a variable's activity (e.g. imported from a retired solver).
+  /// Callers should normalize against the source solver's max_activity()
+  /// so the imported values sit in [0, 1] relative to fresh bumps.
+  void set_activity(Var v, double a);
+
+  /// Enables/disables assumption-prefix trail reuse (default on).
+  /// Disabling backtracks to the root immediately, so verdict-equivalence
+  /// tests can flip the knob between calls.
+  void set_trail_reuse(bool on);
+  [[nodiscard]] bool trail_reuse() const { return trail_reuse_; }
 
   /// Random seed for occasional randomized decisions.
   void set_seed(std::uint64_t seed) { rng_ = Rng(seed); }
@@ -112,13 +183,21 @@ class Solver {
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
 
   /// Top-level simplification: removes satisfied clauses.  Cheap; safe to
-  /// call between solve()s.
+  /// call between solve()s (drops the kept trail).
   void simplify();
 
  private:
   struct Watcher {
     ClauseRef cref = kClauseRefUndef;
     Lit blocker = kLitUndef;
+  };
+
+  /// Binary clauses are watched implicitly: the other literal lives in the
+  /// watcher itself, so propagation never dereferences the arena.  The
+  /// clause reference is kept only for reasons and conflict analysis.
+  struct BinWatcher {
+    Lit other = kLitUndef;
+    ClauseRef cref = kClauseRefUndef;
   };
 
   struct VarData {
@@ -136,6 +215,12 @@ class Solver {
   }
   [[nodiscard]] std::int32_t level(Var v) const { return vardata_[v].level; }
   [[nodiscard]] ClauseRef reason(Var v) const { return vardata_[v].reason; }
+  /// True when the literal is fixed at the root level (decision level 0) —
+  /// the only assignments clause construction may simplify against while a
+  /// reused trail is in place.
+  [[nodiscard]] bool root_value_is(Lit l, LBool v) const {
+    return value(l) == v && level(l.var()) == 0;
+  }
 
   void new_decision_level() {
     trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
@@ -156,6 +241,8 @@ class Solver {
   [[nodiscard]] std::uint32_t abstract_level(Var v) const {
     return 1u << (level(v) & 31);
   }
+  /// Distinct decision levels among `lits` (all currently assigned).
+  std::uint32_t compute_lbd(std::span<const Lit> lits);
 
   // --- activities ---
   void var_bump_activity(Var v);
@@ -180,6 +267,7 @@ class Solver {
   std::vector<ClauseRef> clauses_;  // original problem clauses
   std::vector<ClauseRef> learnts_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+  std::vector<std::vector<BinWatcher>> bin_watches_;  // 2-literal clauses
 
   std::vector<LBool> assigns_;
   std::vector<VarData> vardata_;
@@ -200,11 +288,20 @@ class Solver {
   double clause_decay_ = 0.999;
 
   std::vector<Lit> assumptions_;
+  // Assumptions of the previous solve(): decision levels 1..k of the kept
+  // trail correspond 1:1 to prev_assumptions_[0..k-1], so the next call
+  // backtracks only to the first diverging assumption.
+  std::vector<Lit> prev_assumptions_;
+  bool trail_reuse_ = true;
 
   // analyze() scratch space
   std::vector<char> seen_;
   std::vector<Lit> analyze_stack_;
   std::vector<Lit> analyze_clear_;
+
+  // compute_lbd() scratch: per-level stamps versioned by a counter.
+  std::vector<std::uint64_t> lbd_stamp_;
+  std::uint64_t lbd_counter_ = 0;
 
   double max_learnts_ = 0.0;
   double learnt_size_adjust_confl_ = 100.0;

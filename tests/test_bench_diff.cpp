@@ -1,0 +1,147 @@
+/// Unit tests for the google-benchmark JSON comparator behind
+/// `pilot-bench bench-diff`.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "corpus/bench_diff.hpp"
+
+namespace pilot::corpus {
+namespace {
+
+json::Value bench_doc(const std::string& rows) {
+  return json::parse("{\"context\":{\"date\":\"2026-07-28\"},"
+                     "\"benchmarks\":[" + rows + "]}");
+}
+
+std::string plain_row(const std::string& name, double cpu_ns) {
+  return "{\"name\":\"" + name + "\",\"run_name\":\"" + name +
+         "\",\"run_type\":\"iteration\",\"iterations\":100,"
+         "\"real_time\":" + std::to_string(cpu_ns) +
+         ",\"cpu_time\":" + std::to_string(cpu_ns) +
+         ",\"time_unit\":\"ns\"}";
+}
+
+std::string aggregate_row(const std::string& name,
+                          const std::string& aggregate, double cpu_ns) {
+  return "{\"name\":\"" + name + "_" + aggregate + "\",\"run_name\":\"" +
+         name + "\",\"run_type\":\"aggregate\",\"aggregate_name\":\"" +
+         aggregate + "\",\"iterations\":3,"
+         "\"real_time\":" + std::to_string(cpu_ns) +
+         ",\"cpu_time\":" + std::to_string(cpu_ns) +
+         ",\"time_unit\":\"ns\"}";
+}
+
+TEST(BenchDiff, ParsesPlainRows) {
+  const auto entries = parse_benchmark_json(
+      bench_doc(plain_row("BM_A/8", 120.0) + "," + plain_row("BM_B", 45.5)));
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "BM_A/8");
+  EXPECT_DOUBLE_EQ(entries[0].cpu_time_ns, 120.0);
+  EXPECT_EQ(entries[1].name, "BM_B");
+}
+
+TEST(BenchDiff, PrefersMedianAggregates) {
+  // Repetition artifacts carry mean/median/stddev rows; only the median
+  // must survive, keyed by the underlying run name.
+  const auto entries = parse_benchmark_json(bench_doc(
+      aggregate_row("BM_A/8", "mean", 130.0) + "," +
+      aggregate_row("BM_A/8", "median", 100.0) + "," +
+      aggregate_row("BM_A/8", "stddev", 5.0)));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "BM_A/8");
+  EXPECT_DOUBLE_EQ(entries[0].cpu_time_ns, 100.0);
+}
+
+TEST(BenchDiff, NormalizesTimeUnits) {
+  const std::string row =
+      "{\"name\":\"BM_Ms\",\"run_name\":\"BM_Ms\",\"run_type\":"
+      "\"iteration\",\"real_time\":2.5,\"cpu_time\":2.5,"
+      "\"time_unit\":\"ms\"}";
+  const auto entries = parse_benchmark_json(bench_doc(row));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(entries[0].cpu_time_ns, 2.5e6);
+}
+
+TEST(BenchDiff, RejectsDocumentsWithoutBenchmarks) {
+  EXPECT_THROW((void)parse_benchmark_json(json::parse("{\"context\":{}}")),
+               std::runtime_error);
+}
+
+TEST(BenchDiff, ClassifiesSlowdownsImprovementsAndUnchanged) {
+  const auto base = parse_benchmark_json(
+      bench_doc(plain_row("BM_Slow", 1000.0) + "," +
+                plain_row("BM_Fast", 1000.0) + "," +
+                plain_row("BM_Same", 1000.0) + "," +
+                plain_row("BM_Gone", 500.0)));
+  const auto cur = parse_benchmark_json(
+      bench_doc(plain_row("BM_Slow", 1400.0) + "," +
+                plain_row("BM_Fast", 600.0) + "," +
+                plain_row("BM_Same", 1050.0) + "," +
+                plain_row("BM_New", 500.0)));
+  BenchDiffOptions options;  // 1.25 both ways
+  const BenchDiffReport report = diff_benchmarks(base, cur, options);
+  ASSERT_EQ(report.slowdowns.size(), 1u);
+  EXPECT_EQ(report.slowdowns[0].name, "BM_Slow");
+  EXPECT_NEAR(report.slowdowns[0].ratio(), 1.4, 1e-9);
+  ASSERT_EQ(report.improvements.size(), 1u);
+  EXPECT_EQ(report.improvements[0].name, "BM_Fast");
+  EXPECT_EQ(report.unchanged.size(), 1u);
+  ASSERT_EQ(report.only_in_baseline.size(), 1u);
+  EXPECT_EQ(report.only_in_baseline[0], "BM_Gone");
+  ASSERT_EQ(report.only_in_current.size(), 1u);
+  EXPECT_EQ(report.only_in_current[0], "BM_New");
+
+  // Advisory by default; gating only with fail_on_regress.
+  EXPECT_FALSE(report.failed(options));
+  options.fail_on_regress = true;
+  EXPECT_TRUE(report.failed(options));
+}
+
+TEST(BenchDiff, NoiseFloorFiltersFastBenchmarks) {
+  const auto base =
+      parse_benchmark_json(bench_doc(plain_row("BM_Tiny", 10.0)));
+  const auto cur =
+      parse_benchmark_json(bench_doc(plain_row("BM_Tiny", 50.0)));
+  BenchDiffOptions options;
+  options.min_time_ns = 100.0;  // both sides below the floor
+  const BenchDiffReport report = diff_benchmarks(base, cur, options);
+  EXPECT_TRUE(report.slowdowns.empty());
+  EXPECT_EQ(report.unchanged.size(), 1u);
+}
+
+TEST(BenchDiff, SummaryAndMarkdownRender) {
+  const auto base =
+      parse_benchmark_json(bench_doc(plain_row("BM_Slow", 1000.0)));
+  const auto cur =
+      parse_benchmark_json(bench_doc(plain_row("BM_Slow", 2000.0)));
+  const BenchDiffOptions options;
+  const BenchDiffReport report = diff_benchmarks(base, cur, options);
+  const std::string text = report.summary(options);
+  EXPECT_NE(text.find("BM_Slow"), std::string::npos);
+  EXPECT_NE(text.find("+100.0%"), std::string::npos);
+  EXPECT_NE(text.find("SLOWDOWNS"), std::string::npos);
+  const std::string md = report.markdown(options);
+  EXPECT_NE(md.find("| benchmark |"), std::string::npos);
+  EXPECT_NE(md.find(":red_circle: BM_Slow"), std::string::npos);
+}
+
+TEST(BenchDiff, LoadsFromFile) {
+  const std::string path = ::testing::TempDir() + "bench_diff_test.json";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bench_doc(plain_row("BM_File", 321.0)).dump();
+  }
+  const auto entries = load_benchmark_json(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "BM_File");
+  EXPECT_DOUBLE_EQ(entries[0].cpu_time_ns, 321.0);
+  EXPECT_THROW((void)load_benchmark_json("/no/such/bench.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pilot::corpus

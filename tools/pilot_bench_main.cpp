@@ -8,6 +8,8 @@
 ///       [--budget-ms N] [--jobs N] [--out runs.jsonl]
 ///   pilot-bench diff <baseline.jsonl> [<current.jsonl>]
 ///       [--time-threshold R] [--min-seconds S] [--fail-on-time]
+///   pilot-bench bench-diff <old.json> <new.json>
+///       [--threshold PCT] [--min-ns N] [--markdown] [--fail-on-regress]
 ///   pilot-bench make-manifest --suite SIZE --out DIR [--format aag|aig]
 ///   pilot-bench list --corpus <manifest|dir|suite:SIZE>
 ///
@@ -17,6 +19,11 @@
 /// fail the diff; time regressions beyond the threshold are reported, and
 /// fail only with --fail-on-time.
 ///
+/// `bench-diff` compares two google-benchmark JSON artifacts (the
+/// `micro_ops.json` the bench-micro CI job uploads) and flags per-benchmark
+/// slowdowns beyond --threshold percent.  Advisory by default (exit 0);
+/// --fail-on-regress gates; --markdown emits a $GITHUB_STEP_SUMMARY table.
+///
 /// Exit codes: 0 = ok, 1 = regression / expectation mismatch, 3 = usage or
 /// I/O error.
 #include <cstdio>
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "check/runner.hpp"
+#include "corpus/bench_diff.hpp"
 #include "corpus/corpus.hpp"
 #include "corpus/manifest.hpp"
 #include "corpus/results_db.hpp"
@@ -233,6 +241,57 @@ int cmd_diff(int argc, const char* const* argv) {
   return report.failed(options) ? 1 : 0;
 }
 
+int cmd_bench_diff(int argc, const char* const* argv) {
+  double threshold_pct = 25.0;
+  double min_ns = 100.0;
+  bool markdown = false;
+  bool fail_on_regress = false;
+  OptionParser parser(
+      "pilot-bench bench-diff — compare two google-benchmark JSON "
+      "artifacts.\nusage: pilot-bench bench-diff <old.json> <new.json>\n"
+      "Median aggregates are used when the file carries repetitions; times "
+      "are compared on cpu_time.");
+  parser.add_double("threshold", &threshold_pct,
+                    "percent slowdown flagged as a regression");
+  parser.add_double("min-ns", &min_ns,
+                    "ignore benchmarks whose slower side is below this");
+  parser.add_flag("markdown", &markdown,
+                  "emit a GitHub-flavored markdown table instead of text");
+  parser.add_flag("fail-on-regress", &fail_on_regress,
+                  "exit non-zero when slowdowns exist (default: advisory)");
+  if (!parser.parse(argc, argv)) return 3;
+  if (parser.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: pilot-bench bench-diff <old.json> <new.json>\n");
+    return 3;
+  }
+
+  const std::vector<corpus::BenchEntry> baseline =
+      corpus::load_benchmark_json(parser.positional()[0]);
+  const std::vector<corpus::BenchEntry> current =
+      corpus::load_benchmark_json(parser.positional()[1]);
+  if (baseline.empty() || current.empty()) {
+    // An empty side means the run produced no measurements at all — that
+    // must not read as "no regressions", especially under --fail-on-regress.
+    std::fprintf(stderr, "pilot-bench bench-diff: %s has no benchmarks\n",
+                 baseline.empty() ? parser.positional()[0].c_str()
+                                  : parser.positional()[1].c_str());
+    return 3;
+  }
+
+  corpus::BenchDiffOptions options;
+  options.slow_ratio = 1.0 + threshold_pct / 100.0;
+  options.fast_ratio = options.slow_ratio;
+  options.min_time_ns = min_ns;
+  options.fail_on_regress = fail_on_regress;
+  const corpus::BenchDiffReport report =
+      corpus::diff_benchmarks(baseline, current, options);
+  std::fputs(markdown ? report.markdown(options).c_str()
+                      : report.summary(options).c_str(),
+             stdout);
+  return report.failed(options) ? 1 : 0;
+}
+
 int cmd_make_manifest(int argc, const char* const* argv) {
   std::string suite = "tiny";
   std::string out_dir;
@@ -295,6 +354,7 @@ void print_usage() {
       "subcommands:\n"
       "  run            run a (corpus × engines) matrix into the db\n"
       "  diff           compare a campaign against a baseline db\n"
+      "  bench-diff     compare two google-benchmark JSON artifacts\n"
       "  make-manifest  export a built-in suite as an on-disk corpus\n"
       "  list           show a corpus' cases and parse metadata\n\n"
       "try `pilot-bench <subcommand> --help` for flags\n",
@@ -322,6 +382,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "run") return cmd_run(sub_argc, args.data());
     if (cmd == "diff") return cmd_diff(sub_argc, args.data());
+    if (cmd == "bench-diff") return cmd_bench_diff(sub_argc, args.data());
     if (cmd == "make-manifest") {
       return cmd_make_manifest(sub_argc, args.data());
     }
