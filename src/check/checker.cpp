@@ -1,7 +1,7 @@
 #include "check/checker.hpp"
 
+#include <optional>
 #include <stdexcept>
-#include <string_view>
 #include <utility>
 
 #include "engine/backend.hpp"
@@ -79,18 +79,25 @@ CheckResult certify(const ts::TransitionSystem& ts, engine::EngineResult r,
 /// `backends` empty = race the default mix.
 CheckResult run_portfolio_backends(const ts::TransitionSystem& ts,
                                    std::vector<std::string> backends,
-                                   const CheckOptions& options) {
+                                   const CheckOptions& options,
+                                   bool share_lemmas) {
   engine::PortfolioOptions po;
   po.backends = std::move(backends);
   po.seed = options.seed;
+  po.gen_spec = options.gen_spec;
+  po.share_lemmas = share_lemmas;
   // ic3_overrides is deliberately NOT forwarded: one override applied to
   // every IC3-family backend would collapse the race into identical
   // configurations.  Overrides apply to single-engine specs only.
+  // (gen_spec IS forwarded: the backends still differ in their base
+  // configurations, and a uniform strategy override is the point of
+  // `--gen` — e.g. racing every config under "dynamic".)
   engine::PortfolioResult pr =
       engine::run_portfolio(ts, po, deadline_for(options), options.cancel);
   CheckResult out = certify(ts, std::move(pr.result), options);
   out.winner = std::move(pr.winner);
   out.backend_timings = std::move(pr.timings);
+  out.exchange = pr.exchange;
   return out;
 }
 
@@ -99,22 +106,18 @@ CheckResult run_portfolio_backends(const ts::TransitionSystem& ts,
 CheckResult check_ts(const ts::TransitionSystem& ts,
                      const CheckOptions& options) {
   const std::string& spec = options.engine_spec;
-  if (spec == "portfolio") {
-    return run_portfolio_backends(ts, {}, options);  // default backend mix
-  }
-  constexpr std::string_view kPortfolioPrefix = "portfolio:";
-  if (spec.rfind(kPortfolioPrefix, 0) == 0) {
-    // An empty list after the ':' is a malformed spec, rejected by
-    // parse_portfolio_spec — it does not silently mean "defaults".
-    return run_portfolio_backends(
-        ts,
-        engine::parse_portfolio_spec(spec.substr(kPortfolioPrefix.size())),
-        options);
+  // "portfolio[:a+b+c]" races without lemma exchange, "portfolio-x[:…]"
+  // with it; CheckOptions::share_lemmas turns it on for either form.
+  if (std::optional<engine::PortfolioSpec> ps =
+          engine::match_portfolio_spec(spec)) {
+    return run_portfolio_backends(ts, std::move(ps->backends), options,
+                                  ps->exchange || options.share_lemmas);
   }
 
   engine::BackendContext ctx;
   ctx.seed = options.seed;
   ctx.ic3_overrides = options.ic3_overrides;
+  ctx.gen_spec = options.gen_spec;
   const std::unique_ptr<engine::Backend> backend =
       engine::make_backend(spec, ts, ctx);
   engine::EngineResult r =

@@ -52,8 +52,16 @@ enum class EngineKind {
 
 struct CheckOptions {
   /// Engine selector by registry name.  Accepts any registered backend name
-  /// plus "portfolio" or "portfolio:a+b+c" (a "+"-separated backend list).
+  /// plus "portfolio[:a+b+c]" (a "+"-separated backend list) and
+  /// "portfolio-x[:a+b+c]" (same race with lemma exchange enabled).
   std::string engine_spec = "ic3-ctg";
+  /// Generalization-strategy spec override ("down", "dynamic:16,0.4", …;
+  /// see ic3/gen_strategy.hpp).  Empty = the engine's own strategy.
+  /// Applies to IC3-family backends, including every one in a portfolio.
+  std::string gen_spec;
+  /// Portfolio runs: share validated lemmas between the racing IC3
+  /// backends (also enabled by the "portfolio-x" spec form).
+  bool share_lemmas = false;
   std::int64_t budget_ms = 0;  // 0 = unlimited
   std::uint64_t seed = 0;
   std::size_t property_index = 0;
@@ -81,6 +89,8 @@ struct CheckResult {
   /// backend (spec order).
   std::string winner;
   std::vector<engine::BackendTiming> backend_timings;
+  /// Portfolio runs with lemma exchange: hub-level traffic counters.
+  engine::LemmaExchangeStats exchange;
 };
 
 /// Builds the ic3::Config corresponding to an IC3-family EngineKind.

@@ -12,6 +12,7 @@
 
 #include "engine/backend.hpp"
 #include "engine/portfolio.hpp"
+#include "ic3/gen_strategy.hpp"
 
 namespace pilot::check {
 
@@ -20,15 +21,12 @@ namespace {
 /// Validates an engine spec against the registry before any thread spawns,
 /// so a typo fails fast instead of mid-campaign.
 void validate_engine_spec(const std::string& spec) {
-  if (spec == "portfolio") return;
-  constexpr const char* kPrefix = "portfolio:";
-  if (spec.rfind(kPrefix, 0) == 0) {
-    (void)engine::parse_portfolio_spec(spec.substr(10));  // throws if bad
-    return;
-  }
+  // Portfolio forms: match_portfolio_spec throws the shared
+  // offending-token + registered-names message on a malformed list.
+  if (engine::match_portfolio_spec(spec).has_value()) return;
   if (!engine::backend_registered(spec)) {
-    throw std::invalid_argument("run_matrix: unknown engine spec '" + spec +
-                                "'");
+    throw std::invalid_argument("run_matrix: " +
+                                engine::unknown_engine_message(spec));
   }
 }
 
@@ -46,6 +44,7 @@ std::vector<RunRecord> run_matrix(const std::vector<corpus::Case>& cases,
                                   const std::vector<std::string>& engines,
                                   const RunMatrixOptions& options) {
   for (const std::string& spec : engines) validate_engine_spec(spec);
+  if (!options.gen_spec.empty()) ic3::validate_gen_spec(options.gen_spec);
 
   struct Job {
     std::size_t case_index;
@@ -113,6 +112,8 @@ std::vector<RunRecord> run_matrix(const std::vector<corpus::Case>& cases,
 
       CheckOptions co;
       co.engine_spec = spec;
+      co.gen_spec = options.gen_spec;
+      co.share_lemmas = options.share_lemmas;
       co.budget_ms = options.budget_ms;
       co.seed = options.seed;
       co.verify_witness = options.verify_witness;

@@ -47,6 +47,12 @@ struct RunRecord {
 struct RunMatrixOptions {
   std::int64_t budget_ms = 2000;
   std::uint64_t seed = 0;
+  /// Generalization-strategy spec applied to every IC3-family engine of
+  /// the matrix (CheckOptions::gen_spec); empty = each engine's own.
+  std::string gen_spec;
+  /// Enable lemma exchange inside portfolio engine specs
+  /// (CheckOptions::share_lemmas); "portfolio-x" specs enable it per-spec.
+  bool share_lemmas = false;
   /// Worker threads; 0 = hardware concurrency.
   std::size_t jobs = 0;
   bool verify_witness = true;

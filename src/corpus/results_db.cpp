@@ -38,6 +38,35 @@ json::Value stats_to_json(const ic3::Ic3Stats& s) {
   o["sat_binary_propagations"] = s.sat_binary_propagations;
   o["sat_glue_learnts"] = s.sat_glue_learnts;
   o["solver_rebuilds"] = s.num_solver_rebuilds;
+  // Generalization-strategy rows (PR 5): one object per strategy that ran,
+  // sorted by name for stable serialization, plus the dynamic-switch and
+  // portfolio lemma-exchange totals.
+  if (!s.gen_strategies.empty()) {
+    std::vector<const ic3::GenStrategyStats*> sorted;
+    sorted.reserve(s.gen_strategies.size());
+    for (const ic3::GenStrategyStats& g : s.gen_strategies) {
+      sorted.push_back(&g);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto* a, const auto* b) { return a->name < b->name; });
+    json::Array strategies;
+    for (const ic3::GenStrategyStats* g : sorted) {
+      json::Object row;
+      row["name"] = g->name;
+      row["attempts"] = g->attempts;
+      row["successes"] = g->successes;
+      row["queries"] = g->queries;
+      row["dropped_lits"] = g->dropped_lits;
+      row["switches"] = g->switches;
+      strategies.push_back(json::Value(std::move(row)));
+    }
+    o["gen_strategies"] = std::move(strategies);
+  }
+  o["strategy_switches"] = s.num_strategy_switches;
+  o["exchange_published"] = s.num_exchange_published;
+  o["exchange_imported"] = s.num_exchange_imported;
+  o["exchange_rejected"] = s.num_exchange_rejected;
+  o["exchange_skipped"] = s.num_exchange_skipped;
   return json::Value(std::move(o));
 }
 
@@ -64,6 +93,25 @@ ic3::Ic3Stats stats_from_json(const json::Value& v) {
   s.sat_binary_propagations = v.at("sat_binary_propagations").as_uint();
   s.sat_glue_learnts = v.at("sat_glue_learnts").as_uint();
   s.num_solver_rebuilds = v.at("solver_rebuilds").as_uint();
+  // Strategy / exchange fields (PR 5): absent in older rows — at() returns
+  // null and the as_* fallbacks keep everything 0 / empty.
+  if (v.at("gen_strategies").is_array()) {
+    for (const json::Value& row : v.at("gen_strategies").as_array()) {
+      const std::string name = row.at("name").as_string();
+      if (name.empty()) continue;
+      ic3::GenStrategyStats& g = s.gen_strategy(name);
+      g.attempts = row.at("attempts").as_uint();
+      g.successes = row.at("successes").as_uint();
+      g.queries = row.at("queries").as_uint();
+      g.dropped_lits = row.at("dropped_lits").as_uint();
+      g.switches = row.at("switches").as_uint();
+    }
+  }
+  s.num_strategy_switches = v.at("strategy_switches").as_uint();
+  s.num_exchange_published = v.at("exchange_published").as_uint();
+  s.num_exchange_imported = v.at("exchange_imported").as_uint();
+  s.num_exchange_rejected = v.at("exchange_rejected").as_uint();
+  s.num_exchange_skipped = v.at("exchange_skipped").as_uint();
   return s;
 }
 
@@ -90,6 +138,7 @@ json::Value to_json(const RunRow& row) {
   o["timestamp"] = row.context.timestamp;
   o["budget_ms"] = row.context.budget_ms;
   o["seed"] = row.context.seed;
+  if (!row.context.gen_spec.empty()) o["gen"] = row.context.gen_spec;
   return json::Value(std::move(o));
 }
 
@@ -117,6 +166,7 @@ RunRow row_from_json(const json::Value& v) {
   row.context.timestamp = v.at("timestamp").as_string();
   row.context.budget_ms = v.at("budget_ms").as_int();
   row.context.seed = v.at("seed").as_uint();
+  row.context.gen_spec = v.at("gen").as_string();  // absent in old rows
   return row;
 }
 
@@ -148,13 +198,14 @@ ic3::Verdict verdict_from_string(const std::string& text) {
 }
 
 RunContext make_run_context(std::string corpus, std::int64_t budget_ms,
-                            std::uint64_t seed) {
+                            std::uint64_t seed, std::string gen_spec) {
   RunContext ctx;
   ctx.corpus = std::move(corpus);
   ctx.commit = campaign_commit();
   ctx.timestamp = now_utc_iso8601();
   ctx.budget_ms = budget_ms;
   ctx.seed = seed;
+  ctx.gen_spec = std::move(gen_spec);
   return ctx;
 }
 

@@ -41,6 +41,10 @@ struct RunContext {
   std::string timestamp;
   std::int64_t budget_ms = 0;
   std::uint64_t seed = 0;
+  /// Generalization-strategy override the campaign ran with
+  /// (RunMatrixOptions::gen_spec); recorded so single-file `diff` re-runs
+  /// reproduce the campaign exactly.  Empty = engines' own strategies.
+  std::string gen_spec;
 };
 
 /// One database row: a check::RunRecord plus its campaign context.
@@ -66,7 +70,8 @@ struct RunRow {
 /// A fresh campaign context: commit from the environment, timestamp = now.
 [[nodiscard]] RunContext make_run_context(std::string corpus,
                                           std::int64_t budget_ms,
-                                          std::uint64_t seed);
+                                          std::uint64_t seed,
+                                          std::string gen_spec = "");
 
 /// Aggregate outcome of a campaign's records — the one definition of
 /// "mismatch" and of the batch exit-code convention, shared by the `pilot`

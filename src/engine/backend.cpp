@@ -7,6 +7,7 @@
 
 #include "bmc/bmc.hpp"
 #include "bmc/kinduction.hpp"
+#include "ic3/gen_strategy.hpp"
 
 namespace pilot::engine {
 namespace {
@@ -23,7 +24,13 @@ class Ic3Backend final : public Backend {
       : name_(std::move(name)),
         ts_(ts),
         cfg_(ctx.ic3_overrides.has_value() ? *ctx.ic3_overrides
-                                           : ic3_config_for(name_, ctx.seed)) {}
+                                           : ic3_config_for(name_, ctx.seed)) {
+    if (!ctx.gen_spec.empty()) {
+      ic3::validate_gen_spec(ctx.gen_spec);  // fail before check() runs
+      cfg_.gen_spec = ctx.gen_spec;
+    }
+    cfg_.lemma_bus = ctx.lemma_bus;
+  }
 
   [[nodiscard]] const std::string& name() const override { return name_; }
 
@@ -151,10 +158,12 @@ class Registry {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       const auto it = factories_.find(name);
-      if (it == factories_.end()) {
-        throw std::invalid_argument("unknown engine '" + name + "'");
-      }
-      factory = it->second;
+      if (it != factories_.end()) factory = it->second;
+    }
+    if (!factory) {
+      // Message built outside the lock: unknown_engine_message re-enters
+      // the registry for the name list.
+      throw std::invalid_argument(unknown_engine_message(name));
     }
     return factory(ts, ctx);
   }
@@ -164,7 +173,7 @@ class Registry {
     // Built-in engines, available in every binary linking pilot_core.
     for (const char* name :
          {"ic3-down", "ic3-down-pl", "ic3-ctg", "ic3-ctg-pl", "ic3-cav23",
-          "pdr"}) {
+          "ic3-dyn", "pdr"}) {
       factories_.emplace(name,
                          [name = std::string(name)](
                              const ts::TransitionSystem& ts,
@@ -206,6 +215,15 @@ std::unique_ptr<Backend> make_backend(const std::string& name,
   return Registry::instance().make(name, ts, ctx);
 }
 
+std::string unknown_engine_message(const std::string& token) {
+  std::string msg = "unknown engine '" + token + "'; registered engines:";
+  for (const std::string& name : backend_names()) msg += " " + name;
+  msg +=
+      "; or portfolio[:a+b+c] / portfolio-x[:a+b+c] to race several "
+      "backends (x = with lemma exchange)";
+  return msg;
+}
+
 ic3::Config ic3_config_for(const std::string& name, std::uint64_t seed) {
   ic3::Config cfg;
   cfg.seed = seed;
@@ -221,6 +239,10 @@ ic3::Config ic3_config_for(const std::string& name, std::uint64_t seed) {
     cfg.predict_lemmas = true;
   } else if (name == "ic3-cav23") {
     cfg.gen_mode = ic3::GenMode::kCav23;
+  } else if (name == "ic3-dyn") {
+    // SuYC25: start from prediction and switch strategies mid-run on
+    // observed success rates (ic3/gen_dynamic.hpp).
+    cfg.gen_spec = "dynamic";
   } else if (name == "pdr") {
     cfg.apply_profile(ic3::Profile::kPdr);
   } else {

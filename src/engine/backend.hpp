@@ -60,6 +60,14 @@ struct BackendContext {
   std::uint64_t seed = 0;
   /// Extra IC3 knobs forwarded verbatim to IC3-family backends (ablations).
   std::optional<ic3::Config> ic3_overrides;
+  /// Generalization-strategy spec override ("dynamic:16,0.4", …; see
+  /// ic3/gen_strategy.hpp) applied on top of the name-derived config of
+  /// IC3-family backends; empty = keep the backend's own strategy.
+  std::string gen_spec;
+  /// Portfolio lemma exchange endpoint for this backend (non-owning, may
+  /// be null; engine/lemma_exchange.hpp).  IC3-family backends publish
+  /// installed lemmas and import validated peer lemmas through it.
+  ic3::LemmaBus* lemma_bus = nullptr;
 };
 
 class Backend {
@@ -96,9 +104,15 @@ void register_backend(const std::string& name, BackendFactory factory);
                                                     const BackendContext& ctx);
 
 /// The ic3::Config behind an IC3-family backend name ("ic3-down",
-/// "ic3-down-pl", "ic3-ctg", "ic3-ctg-pl", "ic3-cav23", "pdr").  Throws
-/// std::invalid_argument for non-IC3 names.
+/// "ic3-down-pl", "ic3-ctg", "ic3-ctg-pl", "ic3-cav23", "ic3-dyn",
+/// "pdr").  Throws std::invalid_argument for non-IC3 names.
 [[nodiscard]] ic3::Config ic3_config_for(const std::string& name,
                                          std::uint64_t seed);
+
+/// The error text for an unrecognized engine token: names the token and
+/// lists every registered backend plus the portfolio spec forms — shared
+/// by the registry, the portfolio spec parser, and the batch runner so
+/// every CLI surfaces the same actionable message.
+[[nodiscard]] std::string unknown_engine_message(const std::string& token);
 
 }  // namespace pilot::engine

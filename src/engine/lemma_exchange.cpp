@@ -1,0 +1,52 @@
+#include "engine/lemma_exchange.hpp"
+
+namespace pilot::engine {
+
+std::size_t LemmaExchange::add_peer() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cursors_.push_back(0);
+  return cursors_.size() - 1;
+}
+
+void LemmaExchange::publish(std::size_t peer, const ic3::Cube& cube,
+                            std::size_t level) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (store_.size() >= max_store_) {
+    ++stats_.dropped_capacity;
+    return;
+  }
+  // Exact-cube dedup: the same lemma re-published (by the same peer at a
+  // pushed-up level, or independently discovered by another) crosses the
+  // bus once.  Importers clamp and re-validate levels anyway.
+  if (!seen_.insert(cube).second) {
+    ++stats_.deduped;
+    return;
+  }
+  store_.push_back(Entry{cube, level, peer});
+  ++stats_.published;
+}
+
+std::vector<ic3::SharedLemma> LemmaExchange::poll(std::size_t peer) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ic3::SharedLemma> out;
+  std::size_t& cursor = cursors_.at(peer);
+  for (; cursor < store_.size(); ++cursor) {
+    const Entry& e = store_[cursor];
+    if (e.source == peer) continue;
+    out.push_back(ic3::SharedLemma{e.cube, e.level});
+  }
+  stats_.delivered += out.size();
+  return out;
+}
+
+std::size_t LemmaExchange::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_.size();
+}
+
+LemmaExchangeStats LemmaExchange::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace pilot::engine

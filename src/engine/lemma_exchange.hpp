@@ -1,0 +1,97 @@
+/// \file lemma_exchange.hpp
+/// The portfolio lemma-exchange hub: a lock-guarded shared store where
+/// racing backends publish generalized lemmas and poll what their peers
+/// found.
+///
+/// Design: an append-only store with one read cursor per peer.  publish()
+/// appends (cube, level, source) after an exact-cube dedup; poll(peer)
+/// returns every entry past the peer's cursor that the peer did not itself
+/// publish, and advances the cursor — each lemma crosses the bus to each
+/// peer at most once.  The store is capped so a lemma-heavy backend cannot
+/// grow it without bound; past the cap publishes are counted and dropped.
+///
+/// Thread-safety: every public method takes the one internal mutex; cubes
+/// are copied in and out under it.  Peers are registered before the race
+/// starts (add_peer is not thread-safe against publish/poll — the
+/// scheduler calls it while still single-threaded).
+///
+/// Soundness: the hub is transport only.  An importing engine must
+/// validate every polled lemma against its own frame sequence (one
+/// relative-induction query + initiation check — see
+/// ic3::Engine::import_shared_lemmas) before installing it, because peers
+/// run different strategies over different frame sequences.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "ic3/cube.hpp"
+#include "ic3/lemma_bus.hpp"
+
+namespace pilot::engine {
+
+/// Hub-level counters (per-backend import/reject counters live in each
+/// backend's Ic3Stats).
+struct LemmaExchangeStats {
+  std::uint64_t published = 0;        // entries appended to the store
+  std::uint64_t deduped = 0;          // publishes dropped as exact duplicates
+  std::uint64_t dropped_capacity = 0; // publishes dropped at the store cap
+  std::uint64_t delivered = 0;        // entries handed out across all polls
+};
+
+class LemmaExchange {
+ public:
+  /// `max_store` caps the shared store (entries, deduped).
+  explicit LemmaExchange(std::size_t max_store = 65536)
+      : max_store_(max_store) {}
+
+  LemmaExchange(const LemmaExchange&) = delete;
+  LemmaExchange& operator=(const LemmaExchange&) = delete;
+
+  /// Registers a peer; returns its id.  Call before the race starts.
+  [[nodiscard]] std::size_t add_peer();
+
+  void publish(std::size_t peer, const ic3::Cube& cube, std::size_t level);
+  [[nodiscard]] std::vector<ic3::SharedLemma> poll(std::size_t peer);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] LemmaExchangeStats stats() const;
+
+ private:
+  struct Entry {
+    ic3::Cube cube;
+    std::size_t level;
+    std::size_t source;
+  };
+
+  const std::size_t max_store_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> store_;
+  std::unordered_set<ic3::Cube, ic3::CubeHash> seen_;
+  std::vector<std::size_t> cursors_;  // per peer, index into store_
+  LemmaExchangeStats stats_;
+};
+
+/// One backend's endpoint: an ic3::LemmaBus bound to (hub, peer id).  The
+/// scheduler owns one per IC3-family backend and keeps it alive for the
+/// duration of the race.
+class PeerBus final : public ic3::LemmaBus {
+ public:
+  PeerBus(LemmaExchange& hub, std::size_t peer) : hub_(hub), peer_(peer) {}
+
+  void publish(const ic3::Cube& cube, std::size_t level) override {
+    hub_.publish(peer_, cube, level);
+  }
+
+  [[nodiscard]] std::vector<ic3::SharedLemma> poll() override {
+    return hub_.poll(peer_);
+  }
+
+ private:
+  LemmaExchange& hub_;
+  const std::size_t peer_;
+};
+
+}  // namespace pilot::engine

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -31,8 +32,8 @@ std::vector<std::string> parse_portfolio_spec(const std::string& spec) {
                                   "': empty backend name");
     }
     if (!backend_registered(name)) {
-      throw std::invalid_argument("portfolio spec: unknown backend '" + name +
-                                  "'");
+      throw std::invalid_argument("portfolio spec '" + spec + "': " +
+                                  unknown_engine_message(name));
     }
     for (const std::string& seen : names) {
       if (seen == name) {
@@ -47,6 +48,22 @@ std::vector<std::string> parse_portfolio_spec(const std::string& spec) {
   return names;
 }
 
+std::optional<PortfolioSpec> match_portfolio_spec(const std::string& spec) {
+  for (const auto& [prefix, exchange] :
+       {std::pair<const char*, bool>{"portfolio-x", true},
+        std::pair<const char*, bool>{"portfolio", false}}) {
+    const std::string_view p(prefix);
+    if (spec.rfind(p, 0) != 0) continue;
+    if (spec.size() == p.size()) return PortfolioSpec{exchange, {}};
+    if (spec[p.size()] != ':') continue;  // e.g. "portfolio-xyz"
+    // An empty list after the ':' is a malformed spec, rejected by
+    // parse_portfolio_spec — it does not silently mean "defaults".
+    return PortfolioSpec{exchange,
+                         parse_portfolio_spec(spec.substr(p.size() + 1))};
+  }
+  return std::nullopt;
+}
+
 PortfolioResult run_portfolio(const ts::TransitionSystem& ts,
                               const PortfolioOptions& options,
                               Deadline deadline, const CancelToken* cancel) {
@@ -55,15 +72,25 @@ PortfolioResult run_portfolio(const ts::TransitionSystem& ts,
       options.backends.empty() ? default_portfolio_backends()
                                : options.backends;
 
-  BackendContext ctx;
-  ctx.seed = options.seed;
-  ctx.ic3_overrides = options.ic3_overrides;
+  // The exchange hub and per-backend endpoints must outlive the workers;
+  // peers are registered here, while still single-threaded.
+  std::unique_ptr<LemmaExchange> hub;
+  std::vector<std::unique_ptr<PeerBus>> buses;
+  if (options.share_lemmas) hub = std::make_unique<LemmaExchange>();
 
   // Build every backend up front so an unknown name throws before any
   // thread exists.
   std::vector<std::unique_ptr<Backend>> backends;
   backends.reserve(names.size());
   for (const std::string& name : names) {
+    BackendContext ctx;
+    ctx.seed = options.seed;
+    ctx.ic3_overrides = options.ic3_overrides;
+    ctx.gen_spec = options.gen_spec;
+    if (hub != nullptr) {
+      buses.push_back(std::make_unique<PeerBus>(*hub, hub->add_peer()));
+      ctx.lemma_bus = buses.back().get();
+    }
     backends.push_back(make_backend(name, ts, ctx));
   }
 
@@ -108,8 +135,12 @@ PortfolioResult run_portfolio(const ts::TransitionSystem& ts,
     // its own without a verdict (e.g. BMC exhausting its bound) did not
     // lose to the stop request.
     timing.cancelled = results[i].interrupted && stop.stop_requested();
+    timing.lemmas_published = results[i].stats.num_exchange_published;
+    timing.lemmas_imported = results[i].stats.num_exchange_imported;
+    timing.lemmas_rejected = results[i].stats.num_exchange_rejected;
     out.timings.push_back(std::move(timing));
   }
+  if (hub != nullptr) out.exchange = hub->stats();
   if (win >= 0) {
     out.winner = names[static_cast<std::size_t>(win)];
     out.result = std::move(results[static_cast<std::size_t>(win)]);

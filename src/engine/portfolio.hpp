@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "engine/backend.hpp"
+#include "engine/lemma_exchange.hpp"
 #include "ts/transition_system.hpp"
 #include "util/cancel.hpp"
 #include "util/timer.hpp"
@@ -38,6 +39,13 @@ struct PortfolioOptions {
   std::uint64_t seed = 0;
   /// Extra IC3 knobs forwarded to the IC3-family backends.
   std::optional<ic3::Config> ic3_overrides;
+  /// Generalization-strategy spec applied to every IC3-family backend
+  /// (empty = each keeps its own; see BackendContext::gen_spec).
+  std::string gen_spec;
+  /// Share generalized lemmas between the racing backends through a
+  /// LemmaExchange hub; every import is re-validated by the importer, so
+  /// verdicts stay sound and deterministic.
+  bool share_lemmas = false;
 };
 
 /// Per-backend outcome of one race, in spec order.
@@ -49,6 +57,11 @@ struct BackendTiming {
   /// kUnknown because the winner's stop request (or an outer cancel)
   /// aborted this backend — as opposed to its own timeout/bound.
   bool cancelled = false;
+  /// Lemma-exchange traffic of this backend (zero when exchange is off or
+  /// the backend is not IC3-family).
+  std::uint64_t lemmas_published = 0;
+  std::uint64_t lemmas_imported = 0;
+  std::uint64_t lemmas_rejected = 0;
 };
 
 struct PortfolioResult {
@@ -58,6 +71,8 @@ struct PortfolioResult {
   /// Name of the winning backend; empty when there is no winner.
   std::string winner;
   std::vector<BackendTiming> timings;
+  /// Hub-level exchange counters; all zero when share_lemmas was off.
+  LemmaExchangeStats exchange;
 };
 
 /// The default race: the two strongest IC3 configurations plus the
@@ -69,6 +84,24 @@ struct PortfolioResult {
 /// names; race the default mix by leaving PortfolioOptions::backends empty
 /// instead.
 [[nodiscard]] std::vector<std::string> parse_portfolio_spec(
+    const std::string& spec);
+
+/// A recognized portfolio engine-spec form.
+struct PortfolioSpec {
+  /// The "-x" form: lemma exchange enabled.
+  bool exchange = false;
+  /// Parsed backend list; empty = race the default mix.
+  std::vector<std::string> backends;
+};
+
+/// The ONE matcher for the portfolio engine-spec grammar, shared by every
+/// dispatcher (check::check_ts, run_matrix validation, CLI list
+/// splitting): "portfolio[:a+b+c]" and "portfolio-x[:a+b+c]".  Returns
+/// nullopt when `spec` is not a portfolio form at all (e.g. "ic3-ctg",
+/// "portfolio-xyz"); throws std::invalid_argument (via
+/// parse_portfolio_spec) when it is one but the backend list is
+/// malformed.
+[[nodiscard]] std::optional<PortfolioSpec> match_portfolio_spec(
     const std::string& spec);
 
 /// Races the configured backends; first definitive verdict wins and cancels

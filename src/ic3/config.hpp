@@ -12,6 +12,8 @@
 
 namespace pilot::ic3 {
 
+class LemmaBus;  // ic3/lemma_bus.hpp — portfolio lemma-exchange endpoint
+
 /// Inductive generalization strategy.
 enum class GenMode {
   kDown,   // plain literal dropping (paper Algorithm 1) — "RIC3" baseline
@@ -31,6 +33,25 @@ struct Config {
   /// The paper's contribution: predict lemmas from counterexamples to
   /// propagation before dropping variables (Algorithm 2).
   bool predict_lemmas = false;
+
+  /// Generalization-strategy registry spec ("down", "ctg", "cav23",
+  /// "predict", "dynamic[:window,threshold]", or any registered name; see
+  /// gen_strategy.hpp).  Empty = derive from gen_mode / predict_lemmas, so
+  /// existing configurations keep their meaning.
+  std::string gen_spec;
+
+  /// `dynamic` strategy defaults (overridable per-spec via
+  /// "dynamic:window,threshold"): evaluate the active strategy over its
+  /// last `dynamic_window` generalizations and switch away when the
+  /// windowed success rate drops below `dynamic_threshold`.
+  int dynamic_window = 16;
+  double dynamic_threshold = 0.4;
+
+  /// Portfolio lemma exchange (non-owning; engine/lemma_exchange.hpp):
+  /// when set, the engine publishes installed lemmas and imports peers'
+  /// lemmas at propagation boundaries, validating each import with one
+  /// relative-induction query.  Null = standalone run, no sharing.
+  LemmaBus* lemma_bus = nullptr;
 
   /// When a predicted candidate is proven, additionally shrink it with the
   /// returned unsat core (sound strengthening the paper does not do;
@@ -88,15 +109,21 @@ struct Config {
     }
   }
 
-  [[nodiscard]] std::string describe() const {
-    std::string s;
+  /// The strategy-registry spec this configuration resolves to: gen_spec
+  /// verbatim when set, otherwise derived from the legacy knobs.
+  [[nodiscard]] std::string resolved_gen_spec() const {
+    if (!gen_spec.empty()) return gen_spec;
+    if (predict_lemmas) return "predict";
     switch (gen_mode) {
-      case GenMode::kDown: s = "gen=down"; break;
-      case GenMode::kCtg: s = "gen=ctg"; break;
-      case GenMode::kCav23: s = "gen=cav23"; break;
+      case GenMode::kDown: return "down";
+      case GenMode::kCav23: return "cav23";
+      case GenMode::kCtg: break;
     }
-    if (predict_lemmas) s += "+pl";
-    return s;
+    return "ctg";
+  }
+
+  [[nodiscard]] std::string describe() const {
+    return "gen=" + resolved_gen_spec();
   }
 };
 

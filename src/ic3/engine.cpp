@@ -11,8 +11,7 @@ Engine::Engine(const ts::TransitionSystem& ts, Config cfg)
       cfg_(cfg),
       solvers_(ts_, cfg_, stats_),
       lifter_(ts_, cfg_, stats_),
-      generalizer_(ts_, solvers_, frames_, cfg_, stats_),
-      predictor_(solvers_, frames_, cfg_, stats_) {}
+      generalizer_(ts_, solvers_, frames_, cfg_, stats_) {}
 
 void Engine::add_lemma(const Cube& cube, std::size_t level) {
   std::size_t removed = 0;
@@ -20,6 +19,43 @@ void Engine::add_lemma(const Cube& cube, std::size_t level) {
     solvers_.add_lemma_clause(cube, level);
     ++stats_.num_lemmas;
     stats_.num_subsumed_lemmas += removed;
+    if (cfg_.lemma_bus != nullptr && !importing_) {
+      cfg_.lemma_bus->publish(cube, level);
+      ++stats_.num_exchange_published;
+    }
+  }
+}
+
+void Engine::import_shared_lemmas(const Deadline& deadline) {
+  if (cfg_.lemma_bus == nullptr) return;
+  for (SharedLemma& shared : cfg_.lemma_bus->poll()) {
+    if (cancel_ != nullptr && cancel_->stop_requested()) throw TimeoutError{};
+    // Clamp to our own frame sequence: the publisher may be further along.
+    const std::size_t level =
+        std::min(shared.level, frames_.top_level());
+    if (level < 1 || shared.cube.empty() ||
+        ts_.cube_intersects_init(shared.cube.lits())) {
+      ++stats_.num_exchange_rejected;
+      continue;
+    }
+    if (frames_.subsumed_at(shared.cube, level)) {
+      ++stats_.num_exchange_skipped;
+      continue;
+    }
+    // One relative-induction query against OUR frames decides the import:
+    // peers run different strategies over different frame sequences, so a
+    // shared lemma is a candidate, never a fact.
+    Cube core;
+    if (solvers_.relative_inductive(shared.cube, level - 1,
+                                    /*cube_clause_in_frame=*/false, &core,
+                                    deadline)) {
+      importing_ = true;
+      add_lemma(core, level);
+      importing_ = false;
+      ++stats_.num_exchange_imported;
+    } else {
+      ++stats_.num_exchange_rejected;
+    }
   }
 }
 
@@ -75,6 +111,7 @@ Result Engine::check(Deadline deadline, const CancelToken* cancel) {
         solvers_.ensure_level(k);
         stats_.max_frame = std::max(stats_.max_frame, k);
         solvers_.maybe_rebuild(frames_);
+        import_shared_lemmas(deadline);
         if (propagate(deadline)) {
           result.verdict = Verdict::kSafe;
           // Fixpoint level: first i with empty delta (propagate found it).
@@ -133,37 +170,21 @@ bool Engine::block(int root_index, const Deadline& deadline) {
     if (solvers_.relative_inductive(ob.cube, ob.level - 1,
                                     /*cube_clause_in_frame=*/false, &core,
                                     deadline)) {
-      // The cube is blocked; generalize (predicting first when enabled).
-      ++stats_.num_generalizations;  // N_g
-      Cube lemma;
-      bool predicted = false;
-      if (cfg_.predict_lemmas) {
-        Timer t;
-        const std::optional<Cube> p =
-            predictor_.predict(ob.cube, ob.level, deadline);
-        stats_.time_predict += t.seconds();
-        if (p.has_value()) {
-          lemma = *p;
-          predicted = true;
-        }
-      }
-      if (!predicted) {
-        Timer t;
-        lemma = generalizer_.generalize(
-            core, ob.level, deadline,
-            [this](const Cube& c, std::size_t lv) { add_lemma(c, lv); });
-        stats_.time_generalize += t.seconds();
-      }
+      // The cube is blocked; the configured strategy generalizes it (the
+      // driver counts N_g and the per-strategy outcome).
+      const Cube lemma = generalizer_.generalize(
+          ob.cube, core, ob.level, deadline,
+          [this](const Cube& c, std::size_t lv) { add_lemma(c, lv); });
 
       // Push the lemma as high as it proves inductive (paper lines 36-38);
-      // on failure record the CTP successor for future predictions.
+      // on failure hand the CTP successor to the strategy.
       std::size_t j = ob.level;
       while (j < frames_.top_level()) {
         if (!solvers_.relative_inductive(lemma, j,
                                          /*cube_clause_in_frame=*/false,
                                          nullptr, deadline)) {
-          if (cfg_.predict_lemmas) {
-            predictor_.record_push_failure(
+          if (generalizer_.wants_push_failures()) {
+            generalizer_.on_push_failure(
                 lemma, j, solvers_.model_state(/*primed=*/true));
           }
           break;
@@ -204,9 +225,9 @@ bool Engine::block(int root_index, const Deadline& deadline) {
 
 bool Engine::propagate(const Deadline& deadline) {
   Timer t;
-  if (cfg_.predict_lemmas && cfg_.clear_failure_push_on_propagate) {
-    predictor_.clear();  // paper line 44: reconstruct the hash table
-  }
+  // Propagation boundary: strategies clear their failure tables (paper
+  // line 44) and the dynamic meta-strategy evaluates its switching policy.
+  generalizer_.on_propagate();
   bool fixpoint = false;
   for (std::size_t i = 1; i < frames_.top_level() && !fixpoint; ++i) {
     const std::vector<Cube> snapshot = frames_.delta(i);
@@ -225,10 +246,10 @@ bool Engine::propagate(const Deadline& deadline) {
           solvers_.add_lemma_clause(c, i + 1);
         }
         ++stats_.num_push_successes;
-      } else if (cfg_.predict_lemmas) {
+      } else if (generalizer_.wants_push_failures()) {
         // Record the counterexample to propagation (paper lines 49-50).
-        predictor_.record_push_failure(c, i,
-                                       solvers_.model_state(/*primed=*/true));
+        generalizer_.on_push_failure(
+            c, i, solvers_.model_state(/*primed=*/true));
       }
     }
     if (frames_.delta(i).empty()) fixpoint = true;

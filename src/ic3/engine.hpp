@@ -22,8 +22,8 @@
 #include "ic3/cube.hpp"
 #include "ic3/frames.hpp"
 #include "ic3/generalizer.hpp"
+#include "ic3/lemma_bus.hpp"
 #include "ic3/lifter.hpp"
-#include "ic3/predictor.hpp"
 #include "ic3/solver_manager.hpp"
 #include "ic3/stats.hpp"
 #include "ic3/witness.hpp"
@@ -84,6 +84,10 @@ class Engine {
 
   void add_lemma(const Cube& cube, std::size_t level);
   bool propagate(const Deadline& deadline);
+  /// Polls Config::lemma_bus (when set) and installs every peer lemma that
+  /// survives one relative-induction validation query; called at each
+  /// propagation boundary.
+  void import_shared_lemmas(const Deadline& deadline);
   Trace build_trace(int leaf_index) const;
   InductiveInvariant collect_invariant(std::size_t fixpoint_level) const;
 
@@ -94,12 +98,14 @@ class Engine {
   SolverManager solvers_;
   Lifter lifter_;
   Generalizer generalizer_;
-  Predictor predictor_;
 
   std::vector<Obligation> pool_;
   std::set<QueueKey> queue_;
   int cex_leaf_ = -1;
   const CancelToken* cancel_ = nullptr;  // valid for the duration of check()
+  /// True while installing an imported lemma, so add_lemma() does not echo
+  /// it back onto the bus.
+  bool importing_ = false;
 };
 
 }  // namespace pilot::ic3

@@ -1,0 +1,337 @@
+#include "ic3/gen_strategy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "ic3/gen_dynamic.hpp"
+#include "ic3/predictor.hpp"
+
+namespace pilot::ic3 {
+
+namespace {
+
+// ----- fixed strategies ------------------------------------------------------
+
+/// The three drop-loop strategies share one MIC implementation and differ
+/// in literal ordering (cav23) and CTG handling (ctg); the mode is the
+/// strategy's own, NOT Config::gen_mode, so `--gen cav23` works on any
+/// engine configuration.
+class FixedStrategy final : public GenStrategy {
+ public:
+  FixedStrategy(const GenContext& ctx, std::string name, GenMode mode)
+      : ctx_(ctx), name_(std::move(name)), mode_(mode) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  Cube generalize(const Cube& cube, const Cube& core, std::size_t level,
+                  const Deadline& deadline,
+                  const AddLemmaFn& add_lemma) override {
+    (void)cube;  // drop loops start from the core-shrunk cube
+    return mic(core, level, /*depth=*/0, deadline, add_lemma);
+  }
+
+ private:
+  [[nodiscard]] std::vector<Lit> order_literals(const Cube& cube,
+                                                std::size_t level) const {
+    std::vector<Lit> order(cube.begin(), cube.end());
+    if (mode_ != GenMode::kCav23 || level == 0) return order;
+    // CAV'23 ordering: literals that do NOT occur in any parent lemma of
+    // the previous frame are dropped first, so the surviving clause looks
+    // like a parent lemma and is more likely to propagate.
+    const std::vector<Cube> parents =
+        ctx_.frames.parents_of(cube, level - 1);
+    if (parents.empty()) return order;
+    std::unordered_set<std::int32_t> parent_lits;
+    for (const Cube& p : parents) {
+      for (const Lit l : p) parent_lits.insert(l.index());
+    }
+    std::stable_partition(order.begin(), order.end(), [&](Lit l) {
+      return parent_lits.find(l.index()) == parent_lits.end();
+    });
+    return order;
+  }
+
+  Cube mic(Cube cube, std::size_t level, int depth, const Deadline& deadline,
+           const AddLemmaFn& add_lemma) {
+    const std::vector<Lit> order = order_literals(cube, level);
+    for (const Lit l : order) {
+      if (cube.size() <= 1) break;
+      if (!cube.contains(l)) continue;  // removed by an earlier core shrink
+      Cube cand = cube.without(l);
+      if (ctx_.ts.cube_intersects_init(cand.lits())) continue;
+      if (mode_ == GenMode::kCtg) {
+        if (ctg_down(cand, level, depth, deadline, add_lemma)) {
+          cube = cand;
+          ++ctx_.stats.num_mic_drops;
+        }
+      } else {
+        ++ctx_.stats.num_mic_queries;
+        Cube core;
+        if (ctx_.solvers.relative_inductive(cand, level - 1,
+                                            /*cube_clause_in_frame=*/false,
+                                            &core, deadline)) {
+          cube = core;
+          ++ctx_.stats.num_mic_drops;
+        }
+      }
+    }
+    return cube;
+  }
+
+  bool ctg_down(Cube& cand, std::size_t level, int depth,
+                const Deadline& deadline, const AddLemmaFn& add_lemma) {
+    std::size_t ctgs = 0;
+    for (;;) {
+      if (ctx_.ts.cube_intersects_init(cand.lits())) return false;
+      ++ctx_.stats.num_mic_queries;
+      Cube core;
+      if (ctx_.solvers.relative_inductive(cand, level - 1,
+                                          /*cube_clause_in_frame=*/false,
+                                          &core, deadline)) {
+        cand = core;
+        return true;
+      }
+      // The relative-induction query failed: extract the CTG predecessor.
+      const Cube ctg_full = ctx_.solvers.model_state(/*primed=*/false);
+      const bool may_block_ctg =
+          depth < ctx_.cfg.ctg_max_depth &&
+          ctgs < static_cast<std::size_t>(ctx_.cfg.ctg_max_ctgs) &&
+          level > 1 && !ctx_.ts.cube_intersects_init(ctg_full.lits());
+      if (may_block_ctg) {
+        Cube ctg_core;
+        if (ctx_.solvers.relative_inductive(ctg_full, level - 2,
+                                            /*cube_clause_in_frame=*/false,
+                                            &ctg_core, deadline)) {
+          // The CTG is itself inductive one frame down: block it as high
+          // as possible, generalize it recursively, and retry the
+          // candidate.
+          ++ctgs;
+          ++ctx_.stats.num_ctg_blocked;
+          std::size_t blocked_at = level - 1;
+          while (blocked_at < ctx_.frames.top_level()) {
+            Cube next_core;
+            if (!ctx_.solvers.relative_inductive(
+                    ctg_core, blocked_at, /*cube_clause_in_frame=*/false,
+                    &next_core, deadline)) {
+              break;
+            }
+            ctg_core = next_core;
+            ++blocked_at;
+          }
+          const Cube g =
+              mic(ctg_core, blocked_at, depth + 1, deadline, add_lemma);
+          add_lemma(g, blocked_at);
+          continue;
+        }
+      }
+      // Join: keep only the literals the CTG shares with the candidate.
+      ctgs = 0;
+      const Cube joined = cand.intersect(ctg_full);
+      if (joined.empty() || joined.size() == cand.size()) return false;
+      cand = joined;
+    }
+  }
+
+  const GenContext ctx_;
+  const std::string name_;
+  const GenMode mode_;
+};
+
+// ----- the DAC'24 prediction strategy ----------------------------------------
+
+/// Prediction in front of a fallback drop loop: try to predict the lemma
+/// from a failed-push parent (Algorithm 2); only when no candidate
+/// validates does the drop loop selected by Config::gen_mode run.
+class PredictStrategy final : public GenStrategy {
+ public:
+  explicit PredictStrategy(const GenContext& ctx)
+      : ctx_(ctx),
+        predictor_(ctx.solvers, ctx.frames, ctx.cfg, ctx.stats),
+        fallback_(ctx, "predict-fallback", ctx.cfg.gen_mode) {}
+
+  [[nodiscard]] const std::string& name() const override {
+    static const std::string kName = "predict";
+    return kName;
+  }
+
+  Cube generalize(const Cube& cube, const Cube& core, std::size_t level,
+                  const Deadline& deadline,
+                  const AddLemmaFn& add_lemma) override {
+    Timer t;
+    const std::optional<Cube> predicted =
+        predictor_.predict(cube, level, deadline);
+    ctx_.stats.time_predict += t.seconds();
+    if (predicted.has_value()) return *predicted;
+    return fallback_.generalize(cube, core, level, deadline, add_lemma);
+  }
+
+  [[nodiscard]] bool wants_push_failures() const override { return true; }
+
+  void on_push_failure(const Cube& lemma, std::size_t level,
+                       Cube ctp) override {
+    predictor_.record_push_failure(lemma, level, std::move(ctp));
+  }
+
+  void on_propagate() override {
+    if (ctx_.cfg.clear_failure_push_on_propagate) {
+      predictor_.clear();  // paper line 44: reconstruct the hash table
+    }
+  }
+
+ private:
+  const GenContext ctx_;
+  Predictor predictor_;
+  FixedStrategy fallback_;
+};
+
+// ----- registry --------------------------------------------------------------
+
+struct RegistryEntry {
+  GenStrategyFactory factory;
+  GenArgsValidator validate_args;  // may be null: args must be empty
+};
+
+class GenRegistry {
+ public:
+  static GenRegistry& instance() {
+    static GenRegistry registry;
+    return registry;
+  }
+
+  void add(const std::string& name, GenStrategyFactory factory,
+           GenArgsValidator validate_args) {
+    if (name.empty() || name.find(':') != std::string::npos) {
+      throw std::invalid_argument("gen strategy name '" + name +
+                                  "' is malformed (empty or contains ':')");
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!entries_
+             .emplace(name,
+                      RegistryEntry{std::move(factory),
+                                    std::move(validate_args)})
+             .second) {
+      throw std::invalid_argument("gen strategy '" + name +
+                                  "' already registered");
+    }
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(name) != 0;
+  }
+
+  [[nodiscard]] std::vector<std::string> names() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) out.push_back(name);
+    return out;  // std::map keeps them sorted
+  }
+
+  [[nodiscard]] RegistryEntry lookup(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw std::invalid_argument(unknown_message(name));
+    }
+    return it->second;
+  }
+
+ private:
+  GenRegistry() {
+    auto fixed = [](std::string name, GenMode mode) {
+      return std::make_pair(
+          name, RegistryEntry{[name, mode](const GenContext& ctx,
+                                           const std::string& args) {
+                                require_no_args(name, args);
+                                return std::make_unique<FixedStrategy>(
+                                    ctx, name, mode);
+                              },
+                              nullptr});
+    };
+    entries_.insert(fixed("down", GenMode::kDown));
+    entries_.insert(fixed("ctg", GenMode::kCtg));
+    entries_.insert(fixed("cav23", GenMode::kCav23));
+    entries_.emplace(
+        "predict",
+        RegistryEntry{[](const GenContext& ctx, const std::string& args) {
+                        require_no_args("predict", args);
+                        return std::make_unique<PredictStrategy>(ctx);
+                      },
+                      nullptr});
+    entries_.emplace(
+        "dynamic",
+        RegistryEntry{
+            [](const GenContext& ctx, const std::string& args)
+                -> std::unique_ptr<GenStrategy> {
+              return std::make_unique<DynamicStrategy>(ctx, args);
+            },
+            [](const std::string& args) { (void)parse_dynamic_args(args); }});
+  }
+
+  /// "unknown generalization strategy 'x'; registered: a, b, c" — the
+  /// message every CLI surfaces, built under the registry lock's caller.
+  [[nodiscard]] std::string unknown_message(const std::string& name) const {
+    std::string msg = "unknown generalization strategy '" + name +
+                      "'; registered strategies:";
+    for (const auto& [known, entry] : entries_) msg += " " + known;
+    return msg;
+  }
+
+  static void require_no_args(const std::string& name,
+                              const std::string& args) {
+    if (!args.empty()) {
+      throw std::invalid_argument("gen strategy '" + name +
+                                  "' takes no ':args' (got ':" + args + "')");
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::string, RegistryEntry> entries_;
+};
+
+}  // namespace
+
+void register_gen_strategy(const std::string& name, GenStrategyFactory factory,
+                           GenArgsValidator validate_args) {
+  GenRegistry::instance().add(name, std::move(factory),
+                              std::move(validate_args));
+}
+
+bool gen_strategy_registered(const std::string& name) {
+  return GenRegistry::instance().contains(name);
+}
+
+std::vector<std::string> gen_strategy_names() {
+  return GenRegistry::instance().names();
+}
+
+GenSpec split_gen_spec(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) return {spec, ""};
+  return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+void validate_gen_spec(const std::string& spec) {
+  const GenSpec parts = split_gen_spec(spec);
+  const RegistryEntry entry = GenRegistry::instance().lookup(parts.name);
+  if (entry.validate_args != nullptr) {
+    entry.validate_args(parts.args);
+  } else if (!parts.args.empty()) {
+    throw std::invalid_argument("gen strategy '" + parts.name +
+                                "' takes no ':args' (got ':" + parts.args +
+                                "')");
+  }
+}
+
+std::unique_ptr<GenStrategy> make_gen_strategy(const std::string& spec,
+                                               const GenContext& ctx) {
+  const GenSpec parts = split_gen_spec(spec);
+  return GenRegistry::instance().lookup(parts.name).factory(ctx, parts.args);
+}
+
+}  // namespace pilot::ic3

@@ -1,119 +1,45 @@
 #include "ic3/generalizer.hpp"
 
-#include <algorithm>
-#include <unordered_set>
-
 namespace pilot::ic3 {
 
 Generalizer::Generalizer(const ts::TransitionSystem& ts,
                          SolverManager& solvers, Frames& frames,
                          const Config& cfg, Ic3Stats& stats)
-    : ts_(ts), solvers_(solvers), frames_(frames), cfg_(cfg), stats_(stats) {}
+    : stats_(stats),
+      strategy_(make_gen_strategy(cfg.resolved_gen_spec(),
+                                  GenContext{ts, solvers, frames, cfg,
+                                             stats})) {}
 
-Cube Generalizer::generalize(const Cube& cube, std::size_t level,
-                             const Deadline& deadline,
+Cube Generalizer::generalize(const Cube& cube, const Cube& core,
+                             std::size_t level, const Deadline& deadline,
                              const AddLemmaFn& add_lemma) {
-  return mic(cube, level, /*depth=*/0, deadline, add_lemma);
-}
-
-std::vector<Lit> Generalizer::order_literals(const Cube& cube,
-                                             std::size_t level) const {
-  std::vector<Lit> order(cube.begin(), cube.end());
-  if (cfg_.gen_mode != GenMode::kCav23 || level == 0) return order;
-  // CAV'23 ordering: literals that do NOT occur in any parent lemma of the
-  // previous frame are dropped first, so the surviving clause looks like a
-  // parent lemma and is more likely to propagate.
-  const std::vector<Cube> parents = frames_.parents_of(cube, level - 1);
-  if (parents.empty()) return order;
-  std::unordered_set<std::int32_t> parent_lits;
-  for (const Cube& p : parents) {
-    for (const Lit l : p) parent_lits.insert(l.index());
-  }
-  std::stable_partition(order.begin(), order.end(), [&](Lit l) {
-    return parent_lits.find(l.index()) == parent_lits.end();
-  });
-  return order;
-}
-
-Cube Generalizer::mic(Cube cube, std::size_t level, int depth,
-                      const Deadline& deadline, const AddLemmaFn& add_lemma) {
-  const std::vector<Lit> order = order_literals(cube, level);
-  for (const Lit l : order) {
-    if (cube.size() <= 1) break;
-    if (!cube.contains(l)) continue;  // removed by an earlier core shrink
-    Cube cand = cube.without(l);
-    if (ts_.cube_intersects_init(cand.lits())) continue;
-    if (cfg_.gen_mode == GenMode::kCtg) {
-      if (ctg_down(cand, level, depth, deadline, add_lemma)) {
-        cube = cand;
-        ++stats_.num_mic_drops;
-      }
-    } else {
-      ++stats_.num_mic_queries;
-      Cube core;
-      if (solvers_.relative_inductive(cand, level - 1,
-                                      /*cube_clause_in_frame=*/false, &core,
-                                      deadline)) {
-        cube = core;
-        ++stats_.num_mic_drops;
-      }
-    }
-  }
-  return cube;
-}
-
-bool Generalizer::ctg_down(Cube& cand, std::size_t level, int depth,
-                           const Deadline& deadline,
-                           const AddLemmaFn& add_lemma) {
-  std::size_t ctgs = 0;
-  for (;;) {
-    if (ts_.cube_intersects_init(cand.lits())) return false;
-    ++stats_.num_mic_queries;
-    Cube core;
-    if (solvers_.relative_inductive(cand, level - 1,
-                                    /*cube_clause_in_frame=*/false, &core,
-                                    deadline)) {
-      cand = core;
-      return true;
-    }
-    // The relative-induction query failed: extract the CTG predecessor.
-    const Cube ctg_full = solvers_.model_state(/*primed=*/false);
-    const bool may_block_ctg =
-        depth < cfg_.ctg_max_depth &&
-        ctgs < static_cast<std::size_t>(cfg_.ctg_max_ctgs) && level > 1 &&
-        !ts_.cube_intersects_init(ctg_full.lits());
-    if (may_block_ctg) {
-      Cube ctg_core;
-      if (solvers_.relative_inductive(ctg_full, level - 2,
-                                      /*cube_clause_in_frame=*/false,
-                                      &ctg_core, deadline)) {
-        // The CTG is itself inductive one frame down: block it as high as
-        // possible, generalize it recursively, and retry the candidate.
-        ++ctgs;
-        ++stats_.num_ctg_blocked;
-        std::size_t blocked_at = level - 1;
-        while (blocked_at < frames_.top_level()) {
-          Cube next_core;
-          if (!solvers_.relative_inductive(ctg_core, blocked_at,
-                                           /*cube_clause_in_frame=*/false,
-                                           &next_core, deadline)) {
-            break;
-          }
-          ctg_core = next_core;
-          ++blocked_at;
-        }
-        const Cube g =
-            mic(ctg_core, blocked_at, depth + 1, deadline, add_lemma);
-        add_lemma(g, blocked_at);
-        continue;
-      }
-    }
-    // Join: keep only the literals the CTG shares with the candidate.
-    ctgs = 0;
-    const Cube joined = cand.intersect(ctg_full);
-    if (joined.empty() || joined.size() == cand.size()) return false;
-    cand = joined;
-  }
+  ++stats_.num_generalizations;  // N_g
+  const std::string active = strategy_->active_name();
+  const std::uint64_t queries_before =
+      stats_.num_mic_queries + stats_.num_prediction_queries;
+  const std::uint64_t sp_before = stats_.num_successful_predictions;
+  const double predict_before = stats_.time_predict;
+  Timer t;
+  const Cube lemma = strategy_->generalize(cube, core, level, deadline,
+                                           add_lemma);
+  // Keep time_generalize and time_predict disjoint, as they were when the
+  // engine timed them separately: the predictor's share (accumulated by
+  // the predict strategy inside this call) is carved out.
+  stats_.time_generalize +=
+      t.seconds() - (stats_.time_predict - predict_before);
+  const std::uint64_t spent =
+      stats_.num_mic_queries + stats_.num_prediction_queries - queries_before;
+  // Success is measured against `core` — the strategy's actual starting
+  // point — so unsat-core shrinkage done by the engine's blocking query is
+  // not credited to the strategy.  A validated prediction counts as a
+  // success in its own right (its point is saving queries, not literals).
+  const std::uint64_t dropped =
+      lemma.size() < core.size()
+          ? static_cast<std::uint64_t>(core.size() - lemma.size())
+          : 0;
+  const bool predicted = stats_.num_successful_predictions > sp_before;
+  stats_.record_gen_outcome(active, dropped > 0 || predicted, spent, dropped);
+  return lemma;
 }
 
 }  // namespace pilot::ic3

@@ -1,60 +1,74 @@
 /// \file generalizer.hpp
-/// Inductive generalization (MIC): expanding a blocked cube by dropping
-/// literals while preserving relative inductiveness.
+/// The generalization driver: a thin facade the engine talks to, with the
+/// actual policy delegated to a pluggable GenStrategy (gen_strategy.hpp)
+/// resolved from Config::gen_spec.
 ///
-/// Three strategies (Config::gen_mode):
-///  * kDown  — the paper's Algorithm 1: drop a literal, one SAT query, keep
-///             the (core-shrunk) candidate on success.
-///  * kCtg   — ctgDown [Hassan, Bradley, Somenzi — FMCAD'13]: on failure,
-///             try to block the counterexample-to-generalization at a high
-///             frame, and otherwise join the candidate with it.
-///  * kCav23 — kDown with the literal ordering of [Xia et al., CAV'23]:
-///             literals absent from all parent lemmas are dropped first.
+/// The driver owns the cross-strategy bookkeeping so strategies stay pure
+/// policy: it times every call into Ic3Stats::time_generalize, counts N_g,
+/// and records each outcome (success / queries spent / literals dropped)
+/// into the per-strategy sliding windows that the "dynamic" meta-strategy
+/// and `pilot --stats` read.
 ///
 /// This is exactly the component whose cost the paper's prediction
 /// mechanism avoids: each literal dropped costs one relative-induction SAT
 /// query, so |cube| queries per generalization in the worst case.
 #pragma once
 
-#include <functional>
+#include <memory>
+#include <string>
 
-#include "ic3/config.hpp"
-#include "ic3/cube.hpp"
-#include "ic3/frames.hpp"
-#include "ic3/solver_manager.hpp"
-#include "ic3/stats.hpp"
-#include "ts/transition_system.hpp"
-#include "util/timer.hpp"
+#include "ic3/gen_strategy.hpp"
 
 namespace pilot::ic3 {
 
 class Generalizer {
  public:
-  /// Callback installing a lemma into frames AND solver (owned by the
-  /// engine; ctgDown uses it to block CTGs).
-  using AddLemmaFn = std::function<void(const Cube&, std::size_t)>;
-
+  /// Resolves Config::gen_spec against the strategy registry; throws
+  /// std::invalid_argument for unknown names or malformed args.
   Generalizer(const ts::TransitionSystem& ts, SolverManager& solvers,
               Frames& frames, const Config& cfg, Ic3Stats& stats);
 
   /// Generalizes `cube` (already relative-inductive at `level`-1 and
   /// disjoint from I) into a smaller cube still blocked at `level`.
-  Cube generalize(const Cube& cube, std::size_t level,
+  /// `core` is the unsat-core-shrunk cube from the blocking query.
+  Cube generalize(const Cube& cube, const Cube& core, std::size_t level,
                   const Deadline& deadline, const AddLemmaFn& add_lemma);
 
- private:
-  Cube mic(Cube cube, std::size_t level, int depth, const Deadline& deadline,
-           const AddLemmaFn& add_lemma);
-  bool ctg_down(Cube& cand, std::size_t level, int depth,
-                const Deadline& deadline, const AddLemmaFn& add_lemma);
-  [[nodiscard]] std::vector<Lit> order_literals(const Cube& cube,
-                                                std::size_t level) const;
+  /// Back-compat overload for callers without a separate core (tests):
+  /// the cube doubles as its own core.
+  Cube generalize(const Cube& cube, std::size_t level,
+                  const Deadline& deadline, const AddLemmaFn& add_lemma) {
+    return generalize(cube, cube, level, deadline, add_lemma);
+  }
 
-  const ts::TransitionSystem& ts_;
-  SolverManager& solvers_;
-  Frames& frames_;
-  const Config& cfg_;
+  /// True when the active strategy consumes counterexamples to
+  /// propagation — the engine extracts the successor model only then.
+  [[nodiscard]] bool wants_push_failures() const {
+    return strategy_->wants_push_failures();
+  }
+
+  /// Forwards a failed push (lemma, level, CTP successor state).
+  void on_push_failure(const Cube& lemma, std::size_t level, Cube ctp) {
+    strategy_->on_push_failure(lemma, level, std::move(ctp));
+  }
+
+  /// Propagation-boundary hook: table clears, dynamic strategy switching.
+  void on_propagate() { strategy_->on_propagate(); }
+
+  /// Registry name of the configured strategy ("down", "dynamic", …).
+  [[nodiscard]] const std::string& strategy_name() const {
+    return strategy_->name();
+  }
+
+  /// The strategy currently doing the work (differs from strategy_name()
+  /// only for "dynamic").
+  [[nodiscard]] const std::string& active_strategy() const {
+    return strategy_->active_name();
+  }
+
+ private:
   Ic3Stats& stats_;
+  std::unique_ptr<GenStrategy> strategy_;
 };
 
 }  // namespace pilot::ic3

@@ -1,0 +1,44 @@
+/// \file lemma_bus.hpp
+/// The engine-side endpoint of portfolio lemma exchange.
+///
+/// ic3::Engine talks to peers through this interface only, so the ic3 layer
+/// never depends on the engine layer: `engine::LemmaExchange`
+/// (engine/lemma_exchange.hpp) implements it with a lock-guarded shared
+/// store, and tests can substitute scripted buses.
+///
+/// Contract: publish() and poll() may be called from the owning engine's
+/// thread at any point during check(); implementations synchronize
+/// internally.  Lemmas travel as (cube, top level) pairs; the *importer*
+/// is responsible for validating a polled lemma against its own frame
+/// sequence (one relative-induction query) before installing it — peers
+/// run different strategies over different frames, so a shared lemma is a
+/// candidate, not a fact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ic3/cube.hpp"
+
+namespace pilot::ic3 {
+
+/// One lemma on the wire: clause ¬cube holds at frames 0..level (in the
+/// publisher's frame sequence).
+struct SharedLemma {
+  Cube cube;
+  std::size_t level = 0;
+};
+
+class LemmaBus {
+ public:
+  virtual ~LemmaBus() = default;
+
+  /// Offers an installed lemma to the peers.
+  virtual void publish(const Cube& cube, std::size_t level) = 0;
+
+  /// Returns the lemmas peers published since this endpoint's last poll
+  /// (never the caller's own).
+  [[nodiscard]] virtual std::vector<SharedLemma> poll() = 0;
+};
+
+}  // namespace pilot::ic3

@@ -12,10 +12,59 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sat/solver.hpp"
 
 namespace pilot::ic3 {
+
+/// One generalization as the dynamic-strategy policy sees it.
+struct GenOutcome {
+  bool success = false;        // dropped ≥ 1 literal (or predicted a lemma)
+  std::uint32_t queries = 0;   // SAT queries the attempt spent
+  std::uint32_t dropped = 0;   // literals removed from the input cube
+};
+
+/// Per-strategy generalization counters plus a sliding window of recent
+/// outcomes — the observable the SuYC25 switching policy reads.  Lifetime
+/// totals feed `pilot --stats` and the ResultsDb rows; the window ring
+/// holds the last kGenWindowCapacity outcomes.
+struct GenStrategyStats {
+  std::string name;
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t dropped_lits = 0;
+  /// Times the dynamic policy switched *away* from this strategy.
+  std::uint64_t switches = 0;
+
+  static constexpr std::size_t kGenWindowCapacity = 64;
+  std::vector<GenOutcome> window;  // ring buffer, newest at window_next-1
+  std::size_t window_next = 0;
+
+  void record(bool success_, std::uint64_t queries_, std::uint64_t dropped_);
+
+  [[nodiscard]] std::size_t window_size() const { return window.size(); }
+  /// Success rate / mean queries over the newest min(n, stored) outcomes.
+  [[nodiscard]] double window_success_rate(std::size_t n) const;
+  [[nodiscard]] double window_avg_queries(std::size_t n) const;
+
+  [[nodiscard]] double success_rate() const {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(successes) /
+                               static_cast<double>(attempts);
+  }
+  [[nodiscard]] double avg_queries() const {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(queries) /
+                               static_cast<double>(attempts);
+  }
+  [[nodiscard]] double avg_dropped() const {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(dropped_lits) /
+                               static_cast<double>(attempts);
+  }
+};
 
 struct Ic3Stats {
   // --- paper §4.3 counters ---
@@ -39,6 +88,27 @@ struct Ic3Stats {
   /// Variables whose saved phase/activity were carried into a fresh solver
   /// by SolverManager::rebuild (Config::rebuild_carry_state).
   std::uint64_t num_rebuild_carried_phases = 0;
+
+  // --- generalization strategies (gen_strategy.hpp) ---
+  /// One entry per strategy that performed ≥ 1 generalization this run,
+  /// in first-use order.
+  std::vector<GenStrategyStats> gen_strategies;
+  /// Mid-run strategy switches by the "dynamic" meta-strategy (SuYC25).
+  std::uint64_t num_strategy_switches = 0;
+
+  /// Find-or-create the per-strategy entry.
+  GenStrategyStats& gen_strategy(const std::string& name);
+  [[nodiscard]] const GenStrategyStats* find_gen_strategy(
+      const std::string& name) const;
+  /// Folds one generalization outcome into `name`'s totals and window.
+  void record_gen_outcome(const std::string& name, bool success,
+                          std::uint64_t queries, std::uint64_t dropped);
+
+  // --- portfolio lemma exchange (engine/lemma_exchange.hpp) ---
+  std::uint64_t num_exchange_published = 0;  // lemmas offered to peers
+  std::uint64_t num_exchange_imported = 0;   // peer lemmas validated+installed
+  std::uint64_t num_exchange_rejected = 0;   // failed the validation query
+  std::uint64_t num_exchange_skipped = 0;    // already subsumed locally
 
   // --- SAT layer (absorbed from sat::SolverStats at the end of a run) ---
   std::uint64_t sat_solve_calls = 0;

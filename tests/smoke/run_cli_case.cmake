@@ -1,16 +1,18 @@
 # End-to-end smoke check for the `pilot` CLI, driven by CTest.
 #
 # Invocation (see tests/CMakeLists.txt):
-#   cmake -DPILOT_BIN=<path> -DFAMILY=<gen name> -DEXPECT_CODE=<0|1>
+#   cmake -DPILOT_BIN=<path> -DFAMILY=<family name> -DEXPECT_CODE=<0|1>
 #         -DWORK_DIR=<scratch dir> [-DENGINE=<engine spec>]
+#         [-DGEN=<strategy spec>] [-DEXTRA_FLAGS=<flag>]
 #         -P run_cli_case.cmake
 #
 # Steps:
-#   1. `pilot --gen FAMILY --gen-out WORK_DIR/FAMILY.aag` — exercises the
-#      circuit generator and the AIGER writer; must exit 0.
-#   2. `pilot --witness [--engine ENGINE] FILE` — exercises the AIGER reader
-#      and the engine (ENGINE defaults to the CLI's default; pass e.g.
-#      "portfolio" or "portfolio:bmc+kind" to cover the scheduler); must
+#   1. `pilot --family FAMILY --family-out WORK_DIR/FAMILY.aag` — exercises
+#      the circuit generator and the AIGER writer; must exit 0.
+#   2. `pilot --witness [--engine ENGINE] [--gen GEN] FILE` — exercises the
+#      AIGER reader and the engine (ENGINE defaults to the CLI's default;
+#      pass e.g. "portfolio" or "portfolio-x:bmc+kind" to cover the
+#      scheduler, GEN e.g. "dynamic" to cover a strategy override); must
 #      exit EXPECT_CODE, print the matching verdict line, and emit the
 #      matching HWMCC witness block ("1\nb…" counterexample for UNSAFE,
 #      "0\nb…" certificate header for SAFE).
@@ -23,19 +25,25 @@ endforeach()
 
 set(engine_args "")
 if(DEFINED ENGINE)
-  set(engine_args --engine "${ENGINE}")
+  list(APPEND engine_args --engine "${ENGINE}")
+endif()
+if(DEFINED GEN)
+  list(APPEND engine_args --gen "${GEN}")
+endif()
+if(DEFINED EXTRA_FLAGS)
+  list(APPEND engine_args ${EXTRA_FLAGS})
 endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
 set(model "${WORK_DIR}/${FAMILY}.aag")
 
 execute_process(
-  COMMAND "${PILOT_BIN}" --gen "${FAMILY}" --gen-out "${model}"
+  COMMAND "${PILOT_BIN}" --family "${FAMILY}" --family-out "${model}"
   RESULT_VARIABLE gen_rc
   ERROR_VARIABLE gen_err)
 if(NOT gen_rc EQUAL 0)
   message(FATAL_ERROR
-    "generation failed (exit ${gen_rc}) for --gen ${FAMILY}:\n${gen_err}")
+    "generation failed (exit ${gen_rc}) for --family ${FAMILY}:\n${gen_err}")
 endif()
 
 execute_process(

@@ -20,21 +20,31 @@ ts::TransitionSystem make_ts(const circuits::CircuitCase& cc) {
 
 TEST(BackendRegistry, BuiltinsAreRegistered) {
   for (const char* name : {"ic3-down", "ic3-down-pl", "ic3-ctg", "ic3-ctg-pl",
-                           "ic3-cav23", "pdr", "bmc", "kind"}) {
+                           "ic3-cav23", "ic3-dyn", "pdr", "bmc", "kind"}) {
     EXPECT_TRUE(backend_registered(name)) << name;
   }
   EXPECT_FALSE(backend_registered("nope"));
   // names() is sorted and contains at least the built-ins.
   const std::vector<std::string> names = backend_names();
-  EXPECT_GE(names.size(), 8u);
+  EXPECT_GE(names.size(), 9u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
-TEST(BackendRegistry, UnknownNameThrows) {
+TEST(BackendRegistry, UnknownNameThrowsListingRegisteredEngines) {
   const auto cc = circuits::mutex_safe();
   const ts::TransitionSystem ts = make_ts(cc);
-  EXPECT_THROW((void)make_backend("no-such-engine", ts, {}),
-               std::invalid_argument);
+  try {
+    (void)make_backend("no-such-engine", ts, {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    // The offending token and every registered name must appear.
+    EXPECT_NE(msg.find("no-such-engine"), std::string::npos) << msg;
+    for (const std::string& name : backend_names()) {
+      EXPECT_NE(msg.find(name), std::string::npos) << name << " in " << msg;
+    }
+    EXPECT_NE(msg.find("portfolio"), std::string::npos) << msg;
+  }
 }
 
 TEST(BackendRegistry, Ic3ConfigForMatchesNames) {
@@ -44,6 +54,7 @@ TEST(BackendRegistry, Ic3ConfigForMatchesNames) {
   EXPECT_EQ(ic3_config_for("ic3-ctg", 1).gen_mode, ic3::GenMode::kCtg);
   EXPECT_TRUE(ic3_config_for("ic3-ctg-pl", 1).predict_lemmas);
   EXPECT_EQ(ic3_config_for("ic3-cav23", 1).gen_mode, ic3::GenMode::kCav23);
+  EXPECT_EQ(ic3_config_for("ic3-dyn", 1).gen_spec, "dynamic");
   EXPECT_EQ(ic3_config_for("pdr", 1).ctg_max_ctgs, 0);
   EXPECT_EQ(ic3_config_for("ic3-ctg", 42).seed, 42u);
   EXPECT_THROW((void)ic3_config_for("bmc", 1), std::invalid_argument);
@@ -58,8 +69,8 @@ TEST(Backend, EveryBuiltinAnswersBothVerdicts) {
   // The fixed builtin list, not backend_names(): other tests may have
   // registered stub backends with made-up verdicts.
   for (const std::string name : {"ic3-down", "ic3-down-pl", "ic3-ctg",
-                                 "ic3-ctg-pl", "ic3-cav23", "pdr", "bmc",
-                                 "kind"}) {
+                                 "ic3-ctg-pl", "ic3-cav23", "ic3-dyn", "pdr",
+                                 "bmc", "kind"}) {
     {
       const std::unique_ptr<Backend> b = make_backend(name, safe_ts, {});
       EXPECT_EQ(b->name(), name);

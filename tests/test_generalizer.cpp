@@ -1,10 +1,13 @@
 /// Generalizer tests: every returned cube must remain relative-inductive
-/// and initiation-safe, must subsume the input cube, and the three
-/// strategies (down / ctgDown / CAV'23 ordering) must all preserve these
-/// invariants while shrinking cubes.
+/// and initiation-safe, must subsume the input cube, and EVERY registered
+/// strategy — the fixed drop loops, the DAC'24 predictor, the SuYC25
+/// dynamic meta-strategy, and any plug-in — must preserve these invariants
+/// while shrinking cubes.  The suite parametrizes over the live registry,
+/// so a newly registered strategy is covered without editing this file.
 #include <gtest/gtest.h>
 
 #include "circuits/families.hpp"
+#include "ic3/gen_strategy.hpp"
 #include "ic3/generalizer.hpp"
 #include "ic3/solver_manager.hpp"
 #include "ts/transition_system.hpp"
@@ -13,11 +16,11 @@ namespace pilot::ic3 {
 namespace {
 
 struct GenFixture {
-  explicit GenFixture(GenMode mode,
+  explicit GenFixture(const std::string& gen_spec,
                       circuits::CircuitCase circuit_case)
       : cc(std::move(circuit_case)),
         ts(ts::TransitionSystem::from_aig(cc.aig)) {
-    cfg.gen_mode = mode;
+    cfg.gen_spec = gen_spec;
     solvers = std::make_unique<SolverManager>(ts, cfg, stats);
     generalizer =
         std::make_unique<Generalizer>(ts, *solvers, frames, cfg, stats);
@@ -38,9 +41,12 @@ struct GenFixture {
   std::unique_ptr<Generalizer> generalizer;
 };
 
-class GeneralizerModes : public ::testing::TestWithParam<GenMode> {};
+/// Every registered strategy (down, ctg, cav23, predict, dynamic, and any
+/// test-registered plug-ins that reach this binary).
+class GeneralizerStrategies
+    : public ::testing::TestWithParam<std::string> {};
 
-TEST_P(GeneralizerModes, ResultSubsumesInputAndStaysInductive) {
+TEST_P(GeneralizerStrategies, ResultSubsumesInputAndStaysInductive) {
   GenFixture f(GetParam(), circuits::token_ring_safe(6));
   // Blockable cube: tokens at positions 1 and 3 plus noise bits at 0/2
   // (all zero).  Any generalization must stay inductive at level 1.
@@ -54,7 +60,7 @@ TEST_P(GeneralizerModes, ResultSubsumesInputAndStaysInductive) {
                                             Deadline{}));
 
   const Cube g = f.generalizer->generalize(
-      core, 1, Deadline{},
+      cube, core, 1, Deadline{},
       [&](const Cube& c, std::size_t lv) { f.add_lemma(c, lv); });
 
   EXPECT_TRUE(g.subset_of(cube)) << g.to_string();
@@ -63,9 +69,16 @@ TEST_P(GeneralizerModes, ResultSubsumesInputAndStaysInductive) {
   // The generalized cube must still be relative inductive.
   EXPECT_TRUE(
       f.solvers->relative_inductive(g, 0, false, nullptr, Deadline{}));
+  // The driver attributed the attempt to whichever strategy ran it.
+  std::uint64_t attempts = 0;
+  for (const GenStrategyStats& s : f.stats.gen_strategies) {
+    attempts += s.attempts;
+  }
+  EXPECT_EQ(attempts, f.stats.num_generalizations);
+  EXPECT_EQ(f.stats.num_generalizations, 1u);
 }
 
-TEST_P(GeneralizerModes, DropsNoiseLiteralsFromRingCube) {
+TEST_P(GeneralizerStrategies, DropsNoiseLiteralsFromRingCube) {
   GenFixture f(GetParam(), circuits::token_ring_safe(8));
   // Two tokens + six noise literals: a good generalizer keeps ~2 literals
   // (the pairwise exclusion lemma); we only require real progress.
@@ -80,36 +93,46 @@ TEST_P(GeneralizerModes, DropsNoiseLiteralsFromRingCube) {
   ASSERT_TRUE(
       f.solvers->relative_inductive(cube, 0, false, &core, Deadline{}));
   const Cube g = f.generalizer->generalize(
-      core, 1, Deadline{},
+      cube, core, 1, Deadline{},
       [&](const Cube& c, std::size_t lv) { f.add_lemma(c, lv); });
   EXPECT_LT(g.size(), cube.size());
 }
 
-INSTANTIATE_TEST_SUITE_P(Modes, GeneralizerModes,
-                         ::testing::Values(GenMode::kDown, GenMode::kCtg,
-                                           GenMode::kCav23),
-                         [](const auto& info) {
-                           switch (info.param) {
-                             case GenMode::kDown: return "down";
-                             case GenMode::kCtg: return "ctg";
-                             default: return "cav23";
-                           }
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Registry, GeneralizerStrategies,
+    ::testing::Values("down", "ctg", "cav23", "predict", "dynamic",
+                      "dynamic:4,0.5"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == ':' || c == ',' || c == '.') c = '_';
+      }
+      return name;
+    });
+
+/// The registry is the source of truth: the fixed list above must cover
+/// every built-in (a new built-in strategy must be added to the values so
+/// it gets the invariant coverage).
+TEST(GeneralizerStrategies_Registry, FixedListCoversBuiltins) {
+  for (const char* builtin : {"down", "ctg", "cav23", "predict", "dynamic"}) {
+    EXPECT_TRUE(gen_strategy_registered(builtin)) << builtin;
+  }
+}
 
 TEST(Generalizer, SingletonCubeIsNotDroppedToEmpty) {
-  GenFixture f(GenMode::kDown, circuits::counter_wrap_safe(3, 4, 6));
+  GenFixture f("down", circuits::counter_wrap_safe(3, 4, 6));
   // {bit2=1} is already minimal for "count ≥ 4 unreachable".
   const Cube cube = Cube::from_lits({Lit::make(f.ts.state_var(2))});
   Cube core;
   ASSERT_TRUE(
       f.solvers->relative_inductive(cube, 0, false, &core, Deadline{}));
   const Cube g = f.generalizer->generalize(
-      core, 1, Deadline{}, [&](const Cube&, std::size_t) {});
+      cube, core, 1, Deadline{}, [&](const Cube&, std::size_t) {});
   EXPECT_EQ(g.size(), 1u);
 }
 
 TEST(Generalizer, Cav23OrderingPrefersParentLiterals) {
-  GenFixture f(GenMode::kCav23, circuits::token_ring_safe(6));
+  GenFixture f("cav23", circuits::token_ring_safe(6));
   // Install a parent lemma {s1, s3} at level 1 = delta(1), plus the
   // rotation predecessor {s0, s2} so the superset cube below is actually
   // inductive relative to R_1.
@@ -130,7 +153,7 @@ TEST(Generalizer, Cav23OrderingPrefersParentLiterals) {
   ASSERT_TRUE(
       f.solvers->relative_inductive(cube, 1, false, &core, Deadline{}));
   const Cube g = f.generalizer->generalize(
-      core, 2, Deadline{},
+      cube, core, 2, Deadline{},
       [&](const Cube& c, std::size_t lv) { f.add_lemma(c, lv); });
   EXPECT_TRUE(g.subset_of(cube));
   EXPECT_FALSE(f.ts.cube_intersects_init(g.lits()));
@@ -139,7 +162,7 @@ TEST(Generalizer, Cav23OrderingPrefersParentLiterals) {
 TEST(Generalizer, CtgModeBlocksCtgsAsSideEffect) {
   // On the wrap counter the CTG path exercises recursive blocking; we
   // check it terminates, produces a valid lemma, and may add side lemmas.
-  GenFixture f(GenMode::kCtg, circuits::counter_wrap_safe(4, 8, 14));
+  GenFixture f("ctg", circuits::counter_wrap_safe(4, 8, 14));
   f.solvers->ensure_level(3);
   f.frames.ensure_level(3);
   const Cube cube = Cube::from_lits({Lit::make(f.ts.state_var(3)),
@@ -149,7 +172,7 @@ TEST(Generalizer, CtgModeBlocksCtgsAsSideEffect) {
   ASSERT_TRUE(
       f.solvers->relative_inductive(cube, 0, false, &core, Deadline{}));
   const Cube g = f.generalizer->generalize(
-      core, 1, Deadline{},
+      cube, core, 1, Deadline{},
       [&](const Cube& c, std::size_t lv) { f.add_lemma(c, lv); });
   EXPECT_FALSE(g.empty());
   EXPECT_TRUE(
@@ -157,7 +180,7 @@ TEST(Generalizer, CtgModeBlocksCtgsAsSideEffect) {
 }
 
 TEST(Generalizer, MicQueryCountIsBoundedByCubeSizeTimesPasses) {
-  GenFixture f(GenMode::kDown, circuits::token_ring_safe(6));
+  GenFixture f("down", circuits::token_ring_safe(6));
   std::vector<Lit> lits;
   for (std::size_t i = 0; i < 6; ++i) {
     lits.push_back(Lit::make(f.ts.state_var(i), i != 1 && i != 4));
@@ -167,10 +190,26 @@ TEST(Generalizer, MicQueryCountIsBoundedByCubeSizeTimesPasses) {
   ASSERT_TRUE(
       f.solvers->relative_inductive(cube, 0, false, &core, Deadline{}));
   const std::uint64_t before = f.stats.num_mic_queries;
-  f.generalizer->generalize(core, 1, Deadline{},
+  f.generalizer->generalize(cube, core, 1, Deadline{},
                             [&](const Cube&, std::size_t) {});
   // Plain down: at most one query per literal of the (core-shrunk) cube.
   EXPECT_LE(f.stats.num_mic_queries - before, core.size());
+}
+
+TEST(Generalizer, LegacyConfigKnobsStillSelectStrategies) {
+  // Empty gen_spec derives the strategy from gen_mode / predict_lemmas so
+  // pre-registry configurations keep their meaning.
+  Config cfg;
+  cfg.gen_mode = GenMode::kDown;
+  EXPECT_EQ(cfg.resolved_gen_spec(), "down");
+  cfg.gen_mode = GenMode::kCtg;
+  EXPECT_EQ(cfg.resolved_gen_spec(), "ctg");
+  cfg.gen_mode = GenMode::kCav23;
+  EXPECT_EQ(cfg.resolved_gen_spec(), "cav23");
+  cfg.predict_lemmas = true;
+  EXPECT_EQ(cfg.resolved_gen_spec(), "predict");
+  cfg.gen_spec = "dynamic";
+  EXPECT_EQ(cfg.resolved_gen_spec(), "dynamic");
 }
 
 }  // namespace

@@ -33,6 +33,7 @@
 
 #include "check/runner.hpp"
 #include "corpus/bench_diff.hpp"
+#include "engine/portfolio.hpp"
 #include "corpus/corpus.hpp"
 #include "corpus/manifest.hpp"
 #include "corpus/results_db.hpp"
@@ -44,13 +45,16 @@ namespace {
 
 /// Splits an `--engines` list.  ',' is the primary separator (needed when a
 /// portfolio spec itself contains '+'); a list without ',' splits on '+'.
-/// A lone "portfolio:…" spec is passed through whole, and mixing a
-/// portfolio spec into a '+'-separated list is rejected as ambiguous —
+/// A lone "portfolio:…" / "portfolio-x:…" spec (engine::match_portfolio_spec
+/// is the one grammar) is passed through whole, and mixing a portfolio spec
+/// into a '+'-separated list is rejected as ambiguous —
 /// "portfolio:bmc+kind" must not silently become ["portfolio:bmc", "kind"].
 std::vector<std::string> split_engines(const std::string& text) {
-  if (text.find(',') == std::string::npos &&
-      text.find("portfolio:") != std::string::npos) {
-    if (text.rfind("portfolio:", 0) == 0) return {text};
+  const bool has_portfolio_spec =
+      text.find("portfolio:") != std::string::npos ||
+      text.find("portfolio-x:") != std::string::npos;
+  if (text.find(',') == std::string::npos && has_portfolio_spec) {
+    if (engine::match_portfolio_spec(text).has_value()) return {text};
     throw std::invalid_argument(
         "--engines: a portfolio spec inside a '+'-separated list is "
         "ambiguous; separate engines with ',' instead");
@@ -113,7 +117,7 @@ std::vector<check::RunRecord> run_campaign(
       check::run_matrix(cases, engines, options);
 
   const corpus::RunContext context = corpus::make_run_context(
-      corpus_spec, options.budget_ms, options.seed);
+      corpus_spec, options.budget_ms, options.seed, options.gen_spec);
   for (const check::RunRecord& r : records) {
     corpus::RunRow row{r, context};
     if (writer != nullptr) writer->append(row);
@@ -125,6 +129,7 @@ std::vector<check::RunRecord> run_campaign(
 int cmd_run(int argc, const char* const* argv) {
   std::string corpus_spec;
   std::string engines_text = "ic3-ctg-pl";
+  std::string gen_spec;
   std::int64_t budget_ms = 2000;
   std::int64_t jobs = 0;
   std::int64_t seed = 0;
@@ -140,6 +145,9 @@ int cmd_run(int argc, const char* const* argv) {
   parser.add_string("engines", &engines_text,
                     "engine specs, '+'-separated (use ',' when a portfolio "
                     "spec contains '+')");
+  parser.add_string("gen", &gen_spec,
+                    "generalization-strategy override for the IC3-family "
+                    "engines (down|ctg|cav23|predict|dynamic[:w,t])");
   parser.add_int("budget-ms", &budget_ms, "per-case wall-clock budget");
   parser.add_int("jobs", &jobs, "worker threads (0 = hardware concurrency)");
   parser.add_int("seed", &seed, "engine seed");
@@ -157,6 +165,7 @@ int cmd_run(int argc, const char* const* argv) {
 
   check::RunMatrixOptions options;
   options.budget_ms = budget_ms;
+  options.gen_spec = gen_spec;
   options.jobs = static_cast<std::size_t>(jobs);
   options.seed = static_cast<std::uint64_t>(seed);
   options.verify_witness = verify_witness;
@@ -176,7 +185,7 @@ int cmd_diff(int argc, const char* const* argv) {
       "pilot-bench diff — compare a campaign against a baseline results "
       "db.\nusage: pilot-bench diff <baseline.jsonl> [<current.jsonl>]\n"
       "With one file, the baseline's recorded campaign (corpus, engines, "
-      "budget, seed) is re-run and compared.");
+      "budget, seed, --gen override) is re-run and compared.");
   parser.add_double("time-threshold", &time_threshold,
                     "cur/base runtime ratio counted as a regression");
   parser.add_double("min-seconds", &min_seconds,
@@ -221,9 +230,17 @@ int cmd_diff(int argc, const char* const* argv) {
                      ctx.corpus.c_str(), row.context.corpus.c_str());
         return 3;
       }
+      if (row.context.gen_spec != ctx.gen_spec) {
+        std::fprintf(stderr,
+                     "pilot-bench diff: baseline mixes --gen overrides "
+                     "('%s' vs '%s'); pass a current.jsonl explicitly\n",
+                     ctx.gen_spec.c_str(), row.context.gen_spec.c_str());
+        return 3;
+      }
     }
     check::RunMatrixOptions options;
     options.budget_ms = ctx.budget_ms;
+    options.gen_spec = ctx.gen_spec;  // reproduce the recorded campaign
     options.seed = ctx.seed;
     options.jobs = static_cast<std::size_t>(jobs);
     options.strict = false;

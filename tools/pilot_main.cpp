@@ -1,11 +1,16 @@
 /// \file pilot_main.cpp
 /// `pilot` — the top-level command-line model checker built on pilot_core.
 ///
-///   pilot [options] model.aag|model.aig     check an AIGER file
-///   pilot [options] m1.aag m2.aig ...       batch-check several files
-///   pilot --corpus <manifest|dir> [options] batch-check a corpus
-///   pilot --gen FAMILY [options]            check a built-in circuit family
-///   pilot --gen FAMILY --gen-out out.aag    write the circuit, don't check
+///   pilot [options] model.aag|model.aig        check an AIGER file
+///   pilot [options] m1.aag m2.aig ...          batch-check several files
+///   pilot --corpus <manifest|dir> [options]    batch-check a corpus
+///   pilot --family FAMILY [options]            check a built-in circuit
+///   pilot --family FAMILY --family-out out.aag write the circuit, don't check
+///
+/// Engine selection: `--engine` picks a backend (or portfolio[:a+b+c] /
+/// portfolio-x[:a+b+c] with lemma exchange); `--gen` overrides the
+/// generalization strategy of IC3-family engines (down / ctg / cav23 /
+/// predict / dynamic[:window,threshold] — see ic3/gen_strategy.hpp).
 ///
 /// Single-file mode prints the verdict as one line (SAFE / UNSAFE /
 /// UNKNOWN) on stdout; diagnostics go to stderr.  With --witness, UNSAFE
@@ -34,6 +39,8 @@
 #include "corpus/corpus.hpp"
 #include "corpus/results_db.hpp"
 #include "engine/backend.hpp"
+#include "engine/portfolio.hpp"
+#include "ic3/gen_strategy.hpp"
 #include "ic3/witness.hpp"
 #include "ts/transition_system.hpp"
 #include "util/options.hpp"
@@ -119,15 +126,17 @@ std::vector<std::string> family_names() {
 
 int main(int argc, char** argv) {
   std::string engine = "ic3-ctg-pl";
+  std::string gen_spec;
+  bool exchange = false;
   std::int64_t budget_ms = 0;
   std::int64_t seed = 0;
   std::int64_t property = 0;
   bool verify_witness = true;
   bool show_stats = false;
   bool print_witness = false;
-  bool list_gen = false;
-  std::string gen;
-  std::string gen_out;
+  bool list_families = false;
+  std::string family;
+  std::string family_out;
   std::string corpus_spec;
   std::int64_t jobs = 0;
   std::string out_path;
@@ -136,15 +145,26 @@ int main(int argc, char** argv) {
       "pilot — SAT-based safety model checker: IC3 with lemma prediction "
       "from counterexamples to propagation (DAC'24).\n"
       "usage: pilot [options] <model.aag|model.aig>\n"
-      "   or: pilot --gen FAMILY [--gen-out FILE] [options]\n"
+      "   or: pilot --family FAMILY [--family-out FILE] [options]\n"
       "exit codes: 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 3 = error");
   std::string engine_help = "engine configuration (-pl = predicted lemmas):";
   for (const std::string& name : engine::backend_names()) {
     engine_help += " " + name;
   }
   engine_help +=
-      "; or portfolio[:a+b+c] to race several backends, first verdict wins";
+      "; or portfolio[:a+b+c] to race several backends (first verdict "
+      "wins), portfolio-x[:a+b+c] to race with lemma exchange";
   parser.add_string("engine", &engine, engine_help);
+  std::string gen_help =
+      "generalization strategy override for IC3-family engines:";
+  for (const std::string& name : ic3::gen_strategy_names()) {
+    gen_help += " " + name;
+  }
+  gen_help += "; dynamic takes ':window,threshold' (e.g. dynamic:16,0.4)";
+  parser.add_string("gen", &gen_spec, gen_help);
+  parser.add_flag("exchange", &exchange,
+                  "portfolio runs: share validated lemmas between the "
+                  "racing IC3 backends (same as the portfolio-x spec)");
   parser.add_int("budget-ms", &budget_ms, "wall-clock budget, 0 = unlimited");
   parser.add_int("seed", &seed, "engine randomization seed");
   parser.add_int("property", &property, "property index (bad array / output)");
@@ -154,14 +174,16 @@ int main(int argc, char** argv) {
   parser.add_flag("stats", &show_stats, "print engine statistics to stderr");
   parser.add_flag("witness", &print_witness,
                   "print the certificate in AIGER/HWMCC witness format");
-  parser.add_choice("gen", &gen, family_names(),
+  parser.add_choice("family", &family, family_names(),
                     "check a built-in circuit family instead of a file");
-  std::int64_t gen_n = 0;
-  parser.add_int("gen-n", &gen_n, "size parameter for --gen (0 = default)");
-  parser.add_string("gen-out", &gen_out,
+  std::int64_t family_n = 0;
+  parser.add_int("family-n", &family_n,
+                 "size parameter for --family (0 = default)");
+  parser.add_string("family-out", &family_out,
                     "write the generated circuit as AIGER to this path and "
                     "exit without checking");
-  parser.add_flag("list-gen", &list_gen, "list built-in circuit families");
+  parser.add_flag("list-families", &list_families,
+                  "list built-in circuit families");
   parser.add_string("corpus", &corpus_spec,
                     "batch-check a corpus: a manifest.json, a directory of "
                     ".aig/.aag files, or suite:tiny|quick|full");
@@ -182,16 +204,30 @@ int main(int argc, char** argv) {
   }
   if (!parser.parse(argc, argv)) return 3;
 
-  if (list_gen) {
+  if (list_families) {
     for (const auto& name : family_names()) std::printf("%s\n", name.c_str());
     return 0;
   }
 
   try {
+    // Validate the strategy spec before any work: an unknown name or a
+    // malformed ':args' suffix names the offending token and lists the
+    // registered strategies.
+    if (!gen_spec.empty()) ic3::validate_gen_spec(gen_spec);
+
+    // --exchange only changes portfolio races; say so instead of silently
+    // running a single engine the user believes is sharing lemmas.
+    if (exchange && !engine::match_portfolio_spec(engine).has_value()) {
+      std::fprintf(stderr,
+                   "pilot: --exchange has no effect on single engine '%s'; "
+                   "use --engine portfolio[:a+b+c] or portfolio-x[:a+b+c]\n",
+                   engine.c_str());
+    }
+
     // --- batch mode: --corpus and/or several input files -------------------
     if (!corpus_spec.empty() || parser.positional().size() > 1) {
-      if (!gen.empty() || !gen_out.empty()) {
-        std::fprintf(stderr, "pilot: --gen and batch mode are exclusive\n");
+      if (!family.empty() || !family_out.empty()) {
+        std::fprintf(stderr, "pilot: --family and batch mode are exclusive\n");
         return 3;
       }
       std::vector<corpus::Case> cases;
@@ -218,6 +254,8 @@ int main(int argc, char** argv) {
 
       check::RunMatrixOptions mo;
       mo.budget_ms = budget_ms;
+      mo.gen_spec = gen_spec;
+      mo.share_lemmas = exchange;
       mo.seed = static_cast<std::uint64_t>(seed);
       mo.jobs = static_cast<std::size_t>(jobs);
       mo.verify_witness = verify_witness;
@@ -227,7 +265,7 @@ int main(int argc, char** argv) {
 
       const corpus::RunContext ctx = corpus::make_run_context(
           corpus_spec.empty() ? "files" : corpus_spec, budget_ms,
-          static_cast<std::uint64_t>(seed));
+          static_cast<std::uint64_t>(seed), gen_spec);
       corpus::ResultsDb::Writer writer(out_path);
       for (const check::RunRecord& r : records) {
         writer.append({r, ctx});
@@ -249,24 +287,25 @@ int main(int argc, char** argv) {
 
     aig::Aig model;
     std::string source;
-    if (!gen.empty()) {
+    if (!family.empty()) {
       if (!parser.positional().empty()) {
-        std::fprintf(stderr, "pilot: --gen and a model file are exclusive\n");
+        std::fprintf(stderr,
+                     "pilot: --family and a model file are exclusive\n");
         return 3;
       }
-      const circuits::CircuitCase c = family_registry().at(gen)(gen_n);
+      const circuits::CircuitCase c = family_registry().at(family)(family_n);
       model = c.aig;
-      source = "gen:" + c.name;
-      if (!gen_out.empty()) {
-        aig::write_aiger_file(model, gen_out);
+      source = "family:" + c.name;
+      if (!family_out.empty()) {
+        aig::write_aiger_file(model, family_out);
         std::fprintf(stderr, "pilot: wrote %s (%s, expected %s)\n",
-                     gen_out.c_str(), c.name.c_str(),
+                     family_out.c_str(), c.name.c_str(),
                      c.expected_safe ? "SAFE" : "UNSAFE");
         return 0;
       }
     } else {
-      if (!gen_out.empty()) {
-        std::fprintf(stderr, "pilot: --gen-out requires --gen\n");
+      if (!family_out.empty()) {
+        std::fprintf(stderr, "pilot: --family-out requires --family\n");
         return 3;
       }
       if (parser.positional().size() != 1) {
@@ -288,6 +327,8 @@ int main(int argc, char** argv) {
 
     check::CheckOptions opts;
     opts.engine_spec = engine;  // resolved against the backend registry
+    opts.gen_spec = gen_spec;
+    opts.share_lemmas = exchange;
     opts.budget_ms = budget_ms;
     opts.seed = static_cast<std::uint64_t>(seed);
     opts.property_index = static_cast<std::size_t>(property);
@@ -317,6 +358,23 @@ int main(int argc, char** argv) {
                      ic3::to_string(t.verdict), t.seconds,
                      t.winner ? "  << winner" : (t.cancelled ? "  (cancelled)"
                                                              : ""));
+        if (t.lemmas_published + t.lemmas_imported + t.lemmas_rejected > 0) {
+          std::fprintf(stderr,
+                       "[pilot]     exchange: published=%llu imported=%llu "
+                       "rejected=%llu\n",
+                       static_cast<unsigned long long>(t.lemmas_published),
+                       static_cast<unsigned long long>(t.lemmas_imported),
+                       static_cast<unsigned long long>(t.lemmas_rejected));
+        }
+      }
+      if (r.exchange.published + r.exchange.deduped + r.exchange.delivered >
+          0) {
+        std::fprintf(stderr,
+                     "[pilot] exchange hub: published=%llu deduped=%llu "
+                     "delivered=%llu\n",
+                     static_cast<unsigned long long>(r.exchange.published),
+                     static_cast<unsigned long long>(r.exchange.deduped),
+                     static_cast<unsigned long long>(r.exchange.delivered));
       }
     }
     if (!r.witness_error.empty()) {
