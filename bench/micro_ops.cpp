@@ -9,6 +9,7 @@
 /// of them — that asymmetry is the paper's entire bet.
 #include <benchmark/benchmark.h>
 
+#include "aig/simulation.hpp"
 #include "circuits/families.hpp"
 #include "ic3/cube.hpp"
 #include "ic3/engine.hpp"
@@ -216,6 +217,57 @@ void BM_FullCheckCounterSafe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullCheckCounterSafe)->Arg(0)->Arg(1);
+
+void BM_TernaryPacked_vs_Byte(benchmark::State& state) {
+  // One full combinational sweep per simulated ternary pattern: the byte
+  // backend (Arg 0) evaluates one pattern per sweep, the packed backend
+  // (Arg 1) 32 per word-parallel sweep.  Items-processed normalizes per
+  // pattern, so the reported rate is directly comparable — this is the
+  // measurement behind Config::lift_sim defaulting to packed.
+  const auto cc = circuits::token_ring_safe(64);
+  const bool packed = state.range(0) != 0;
+  aig::TernarySimulator byte_sim(cc.aig);
+  aig::PackedTernarySimulator packed_sim(cc.aig);
+  Rng rng(5150);
+  std::vector<aig::TV> latch_values(cc.aig.num_latches());
+  std::vector<aig::TV> input_values(cc.aig.num_inputs());
+  for (auto& v : latch_values) {
+    v = rng.chance(0.3) ? aig::TV::kX
+                        : (rng.chance(0.5) ? aig::TV::kOne : aig::TV::kZero);
+  }
+  std::int64_t patterns = 0;
+  for (auto _ : state) {
+    if (packed) {
+      packed_sim.compute(latch_values, input_values);
+      benchmark::DoNotOptimize(
+          packed_sim.value(aig::AigLit::make(1, false), 31));
+      patterns += static_cast<std::int64_t>(
+          aig::PackedTernarySimulator::kLanes);
+    } else {
+      byte_sim.compute(latch_values, input_values);
+      benchmark::DoNotOptimize(byte_sim.value(aig::AigLit::make(1, false)));
+      ++patterns;
+    }
+  }
+  state.SetItemsProcessed(patterns);
+}
+BENCHMARK(BM_TernaryPacked_vs_Byte)->Arg(0)->Arg(1);
+
+void BM_GenDropFilter(benchmark::State& state) {
+  // End-to-end engine cost with the generalization drop-filter off (Arg 0)
+  // and on (Arg 1); the filter trades a few lane reads per candidate for
+  // whole relative-induction solves.
+  const auto cc = circuits::token_ring_safe(12);
+  const ts::TransitionSystem ts = ts::TransitionSystem::from_aig(cc.aig);
+  for (auto _ : state) {
+    ic3::Config cfg;
+    cfg.gen_spec = "down";
+    cfg.gen_ternary_filter = state.range(0) != 0;
+    ic3::Engine engine(ts, cfg);
+    benchmark::DoNotOptimize(engine.check());
+  }
+}
+BENCHMARK(BM_GenDropFilter)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -70,4 +70,170 @@ void TernarySimulator::compute(std::span<const TV> latch_values,
   }
 }
 
+// ----- packed ternary --------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kCan1Plane = 0x00000000FFFFFFFFULL;  // low half
+constexpr std::uint64_t kCan0Plane = 0xFFFFFFFF00000000ULL;  // high half
+
+constexpr std::uint64_t packed_broadcast(TV v) {
+  switch (v) {
+    case TV::kZero: return kCan0Plane;
+    case TV::kOne: return kCan1Plane;
+    default: return ~0ULL;
+  }
+}
+
+constexpr std::uint64_t packed_not(std::uint64_t w) {
+  return (w << 32) | (w >> 32);  // swap the planes
+}
+
+inline void packed_set_lane(std::uint64_t& w, std::size_t lane, TV v) {
+  const std::uint64_t can1 = 1ULL << lane;
+  const std::uint64_t can0 = 1ULL << (lane + 32);
+  w |= can1 | can0;  // X
+  if (v == TV::kZero) {
+    w &= ~can1;
+  } else if (v == TV::kOne) {
+    w &= ~can0;
+  }
+}
+
+}  // namespace
+
+PackedTernarySimulator::PackedTernarySimulator(const Aig& aig)
+    : aig_(aig),
+      values_(aig.num_nodes(), ~0ULL),
+      cones_(aig.num_latches()),
+      cone_ready_(aig.num_latches(), 0) {
+  values_[0] = packed_broadcast(TV::kZero);  // constant false
+}
+
+std::uint64_t PackedTernarySimulator::word(AigLit lit) const {
+  const std::uint64_t w = values_[lit.node()];
+  return lit.negated() ? packed_not(w) : w;
+}
+
+std::uint64_t PackedTernarySimulator::eval_and(std::uint32_t n) const {
+  const std::uint64_t a = word(aig_.fanin0(n));
+  const std::uint64_t b = word(aig_.fanin1(n));
+  return ((a & b) & kCan1Plane) | ((a | b) & kCan0Plane);
+}
+
+void PackedTernarySimulator::compute(std::span<const TV> latch_values,
+                                     std::span<const TV> input_values) {
+  assert(latch_values.size() == aig_.num_latches());
+  assert(input_values.size() == aig_.num_inputs());
+  for (std::size_t i = 0; i < latch_values.size(); ++i) {
+    values_[aig_.latches()[i]] = packed_broadcast(latch_values[i]);
+  }
+  for (std::size_t i = 0; i < input_values.size(); ++i) {
+    values_[aig_.inputs()[i]] = packed_broadcast(input_values[i]);
+  }
+  compute();
+}
+
+void PackedTernarySimulator::set_latch(std::size_t latch_index, TV v) {
+  assert(latch_index < aig_.num_latches());
+  values_[aig_.latches()[latch_index]] = packed_broadcast(v);
+}
+
+void PackedTernarySimulator::set_latch(std::size_t latch_index,
+                                       std::size_t lane, TV v) {
+  assert(latch_index < aig_.num_latches() && lane < kLanes);
+  packed_set_lane(values_[aig_.latches()[latch_index]], lane, v);
+}
+
+void PackedTernarySimulator::set_input(std::size_t input_index, TV v) {
+  assert(input_index < aig_.num_inputs());
+  values_[aig_.inputs()[input_index]] = packed_broadcast(v);
+}
+
+void PackedTernarySimulator::set_input(std::size_t input_index,
+                                       std::size_t lane, TV v) {
+  assert(input_index < aig_.num_inputs() && lane < kLanes);
+  packed_set_lane(values_[aig_.inputs()[input_index]], lane, v);
+}
+
+void PackedTernarySimulator::compute() {
+  assert(!trial_open_);
+  for (const std::uint32_t n : aig_.ands()) values_[n] = eval_and(n);
+  words_evaluated_ += aig_.num_ands();
+}
+
+void PackedTernarySimulator::latch_step() {
+  assert(!trial_open_);
+  // Two phases so that latch-to-latch feed-through uses pre-step values.
+  std::vector<std::uint64_t> next_state;
+  next_state.reserve(aig_.latches().size());
+  for (const std::uint32_t n : aig_.latches()) {
+    next_state.push_back(word(aig_.next(n)));
+  }
+  for (std::size_t i = 0; i < aig_.latches().size(); ++i) {
+    values_[aig_.latches()[i]] = next_state[i];
+  }
+}
+
+TV PackedTernarySimulator::value(AigLit lit, std::size_t lane) const {
+  assert(lane < kLanes);
+  const std::uint64_t w = word(lit);
+  const bool can1 = ((w >> lane) & 1ULL) != 0;
+  const bool can0 = ((w >> (lane + 32)) & 1ULL) != 0;
+  if (can1 && can0) return TV::kX;
+  return can1 ? TV::kOne : TV::kZero;
+}
+
+const std::vector<std::uint32_t>& PackedTernarySimulator::cone(
+    std::size_t latch_index) {
+  if (!cone_ready_[latch_index]) {
+    std::vector<char> reach(aig_.num_nodes(), 0);
+    reach[aig_.latches()[latch_index]] = 1;
+    // AND ids are topological by construction, so one forward sweep finds
+    // the whole transitive fanout in evaluation order.
+    for (const std::uint32_t n : aig_.ands()) {
+      if (reach[aig_.fanin0(n).node()] || reach[aig_.fanin1(n).node()]) {
+        reach[n] = 1;
+        cones_[latch_index].push_back(n);
+      }
+    }
+    cone_ready_[latch_index] = 1;
+  }
+  return cones_[latch_index];
+}
+
+void PackedTernarySimulator::trial_set_latch(std::size_t latch_index, TV v) {
+  assert(!trial_open_);
+  trial_open_ = true;
+  undo_.clear();
+  const std::uint32_t latch_node = aig_.latches()[latch_index];
+  undo_.emplace_back(latch_node, values_[latch_node]);
+  values_[latch_node] = packed_broadcast(v);
+  const std::vector<std::uint32_t>& fanout = cone(latch_index);
+  for (const std::uint32_t n : fanout) {
+    const std::uint64_t old = values_[n];
+    const std::uint64_t now = eval_and(n);
+    if (now != old) {
+      undo_.emplace_back(n, old);
+      values_[n] = now;
+    }
+  }
+  words_evaluated_ += fanout.size();
+}
+
+void PackedTernarySimulator::trial_commit() {
+  assert(trial_open_);
+  trial_open_ = false;
+  undo_.clear();
+}
+
+void PackedTernarySimulator::trial_rollback() {
+  assert(trial_open_);
+  trial_open_ = false;
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    values_[it->first] = it->second;
+  }
+  undo_.clear();
+}
+
 }  // namespace pilot::aig

@@ -8,10 +8,18 @@
 /// `TernarySimulator` evaluates over {0,1,X} and supports the classic
 /// PDR-style ternary lifting: starting from a full assignment, latches are
 /// X-ed out one at a time while the observed outputs stay definite.
+///
+/// `PackedTernarySimulator` is the bit-packed variant: two planes per value
+/// ("can be 1" / "can be 0") packed 32 lanes per `uint64_t`, so one sweep
+/// evaluates 32 independent ternary assignments.  It additionally supports
+/// event-driven re-evaluation of a single latch's fanout cone, which is
+/// what makes sequential ternary lifting cheap.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "aig/aig.hpp"
@@ -89,6 +97,74 @@ class TernarySimulator {
  private:
   const Aig& aig_;
   std::vector<TV> values_;
+};
+
+/// Word-parallel ternary simulator: 32 independent {0,1,X} assignments per
+/// sweep, one `uint64_t` per node.
+///
+/// Encoding (two-plane): bit `lane` of the low half is the "can be 1"
+/// plane, bit `lane + 32` of the high half is the "can be 0" plane.
+///   0 = (can1=0, can0=1)   1 = (can1=1, can0=0)   X = (can1=1, can0=1)
+/// NOT swaps the planes (a 32-bit rotate); AND is
+///   can1(z) = can1(a) & can1(b),  can0(z) = can0(a) | can0(b)
+/// which is exactly the X-propagating `tv_and` on every lane at once.
+class PackedTernarySimulator {
+ public:
+  static constexpr std::size_t kLanes = 32;
+
+  explicit PackedTernarySimulator(const Aig& aig);
+
+  /// Broadcast mirror of TernarySimulator::compute: assigns every lane the
+  /// same frame and evaluates the combinational logic.
+  void compute(std::span<const TV> latch_values,
+               std::span<const TV> input_values);
+
+  /// Per-lane frame editing.  Values persist across compute() sweeps until
+  /// overwritten; unset latches/inputs are X.
+  void set_latch(std::size_t latch_index, TV v);                    // all lanes
+  void set_latch(std::size_t latch_index, std::size_t lane, TV v);  // one lane
+  void set_input(std::size_t input_index, TV v);
+  void set_input(std::size_t input_index, std::size_t lane, TV v);
+
+  /// Evaluates the combinational logic for the current frame (all lanes).
+  void compute();
+
+  /// Advances the registers on every lane: latch values := next-state
+  /// values (compute() must have been called).  Latch-to-latch feed-through
+  /// uses pre-step values, matching BitSimulator::latch_step.
+  void latch_step();
+
+  /// Value of a literal on `lane` after compute().
+  [[nodiscard]] TV value(AigLit lit, std::size_t lane = 0) const;
+
+  /// Event-driven trial: sets a latch on ALL lanes and re-evaluates only
+  /// the AND gates in its fanout cone, recording an undo log.  Exactly one
+  /// trial may be open at a time; close it with trial_commit() (keep the
+  /// new values) or trial_rollback() (restore the pre-trial values).
+  void trial_set_latch(std::size_t latch_index, TV v);
+  void trial_commit();
+  void trial_rollback();
+
+  /// Running count of node-words evaluated (32 lane-values each); the
+  /// caller drains it into its stats counter.
+  [[nodiscard]] std::uint64_t take_words_evaluated() {
+    return std::exchange(words_evaluated_, 0);
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t word(AigLit lit) const;
+  [[nodiscard]] std::uint64_t eval_and(std::uint32_t n) const;
+  /// AND nodes (in evaluation order) whose value depends on the latch;
+  /// built on first use, cached per latch.
+  const std::vector<std::uint32_t>& cone(std::size_t latch_index);
+
+  const Aig& aig_;
+  std::vector<std::uint64_t> values_;  // per node: two packed planes
+  std::vector<std::vector<std::uint32_t>> cones_;
+  std::vector<char> cone_ready_;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> undo_;
+  bool trial_open_ = false;
+  std::uint64_t words_evaluated_ = 0;
 };
 
 }  // namespace pilot::aig

@@ -85,6 +85,8 @@ CheckResult run_portfolio_backends(const ts::TransitionSystem& ts,
   po.backends = std::move(backends);
   po.seed = options.seed;
   po.gen_spec = options.gen_spec;
+  po.lift_sim = options.lift_sim;
+  po.gen_ternary_filter = options.gen_ternary_filter;
   po.share_lemmas = share_lemmas;
   // ic3_overrides is deliberately NOT forwarded: one override applied to
   // every IC3-family backend would collapse the race into identical
@@ -118,6 +120,8 @@ CheckResult check_ts(const ts::TransitionSystem& ts,
   ctx.seed = options.seed;
   ctx.ic3_overrides = options.ic3_overrides;
   ctx.gen_spec = options.gen_spec;
+  ctx.lift_sim = options.lift_sim;
+  ctx.gen_ternary_filter = options.gen_ternary_filter;
   const std::unique_ptr<engine::Backend> backend =
       engine::make_backend(spec, ts, ctx);
   engine::EngineResult r =

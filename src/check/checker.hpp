@@ -59,6 +59,13 @@ struct CheckOptions {
   /// see ic3/gen_strategy.hpp).  Empty = the engine's own strategy.
   /// Applies to IC3-family backends, including every one in a portfolio.
   std::string gen_spec;
+  /// Ternary-simulation backend for the lifter ("--lift-sim packed|byte");
+  /// unset = the config default (packed).  Applies to IC3-family backends,
+  /// including every one in a portfolio.
+  std::optional<ic3::Config::LiftSim> lift_sim;
+  /// Ternary drop-filter in the MIC core ("--gen-ternary-filter on|off");
+  /// unset = the config default (on).  Same scope as lift_sim.
+  std::optional<bool> gen_ternary_filter;
   /// Portfolio runs: share validated lemmas between the racing IC3
   /// backends (also enabled by the "portfolio-x" spec form).
   bool share_lemmas = false;

@@ -113,6 +113,8 @@ std::vector<RunRecord> run_matrix(const std::vector<corpus::Case>& cases,
       CheckOptions co;
       co.engine_spec = spec;
       co.gen_spec = options.gen_spec;
+      co.lift_sim = options.lift_sim;
+      co.gen_ternary_filter = options.gen_ternary_filter;
       co.share_lemmas = options.share_lemmas;
       co.budget_ms = options.budget_ms;
       co.seed = options.seed;

@@ -50,6 +50,11 @@ struct RunMatrixOptions {
   /// Generalization-strategy spec applied to every IC3-family engine of
   /// the matrix (CheckOptions::gen_spec); empty = each engine's own.
   std::string gen_spec;
+  /// Lifter ternary-simulation backend / MIC drop-filter overrides applied
+  /// to every IC3-family engine (CheckOptions::lift_sim /
+  /// CheckOptions::gen_ternary_filter); unset = config defaults.
+  std::optional<ic3::Config::LiftSim> lift_sim;
+  std::optional<bool> gen_ternary_filter;
   /// Enable lemma exchange inside portfolio engine specs
   /// (CheckOptions::share_lemmas); "portfolio-x" specs enable it per-spec.
   bool share_lemmas = false;

@@ -38,6 +38,13 @@ json::Value stats_to_json(const ic3::Ic3Stats& s) {
   o["sat_binary_propagations"] = s.sat_binary_propagations;
   o["sat_glue_learnts"] = s.sat_glue_learnts;
   o["solver_rebuilds"] = s.num_solver_rebuilds;
+  // Ternary drop-filter / packed-simulation counters (PR 6): how many
+  // candidate-drop solves the cached-CTI filter screened and skipped, and
+  // the packed ternary-simulation volume behind it.
+  o["filter_checks"] = s.num_filter_checks;
+  o["filter_solves_saved"] = s.num_filter_solves_saved;
+  o["filter_witnesses"] = s.num_filter_witnesses;
+  o["packed_sim_words"] = s.num_packed_sim_words;
   // Generalization-strategy rows (PR 5): one object per strategy that ran,
   // sorted by name for stable serialization, plus the dynamic-switch and
   // portfolio lemma-exchange totals.
@@ -93,6 +100,12 @@ ic3::Ic3Stats stats_from_json(const json::Value& v) {
   s.sat_binary_propagations = v.at("sat_binary_propagations").as_uint();
   s.sat_glue_learnts = v.at("sat_glue_learnts").as_uint();
   s.num_solver_rebuilds = v.at("solver_rebuilds").as_uint();
+  // Ternary-filter fields (PR 6): absent in older rows — same null/0
+  // fallback as above keeps old baselines loadable.
+  s.num_filter_checks = v.at("filter_checks").as_uint();
+  s.num_filter_solves_saved = v.at("filter_solves_saved").as_uint();
+  s.num_filter_witnesses = v.at("filter_witnesses").as_uint();
+  s.num_packed_sim_words = v.at("packed_sim_words").as_uint();
   // Strategy / exchange fields (PR 5): absent in older rows — at() returns
   // null and the as_* fallbacks keep everything 0 / empty.
   if (v.at("gen_strategies").is_array()) {

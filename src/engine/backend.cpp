@@ -29,6 +29,10 @@ class Ic3Backend final : public Backend {
       ic3::validate_gen_spec(ctx.gen_spec);  // fail before check() runs
       cfg_.gen_spec = ctx.gen_spec;
     }
+    if (ctx.lift_sim.has_value()) cfg_.lift_sim = *ctx.lift_sim;
+    if (ctx.gen_ternary_filter.has_value()) {
+      cfg_.gen_ternary_filter = *ctx.gen_ternary_filter;
+    }
     cfg_.lemma_bus = ctx.lemma_bus;
   }
 

@@ -64,6 +64,12 @@ struct BackendContext {
   /// ic3/gen_strategy.hpp) applied on top of the name-derived config of
   /// IC3-family backends; empty = keep the backend's own strategy.
   std::string gen_spec;
+  /// Ternary-simulation backend override for the lifter (--lift-sim);
+  /// unset = the config default (packed).
+  std::optional<ic3::Config::LiftSim> lift_sim;
+  /// Ternary drop-filter override for the MIC core (--gen-ternary-filter);
+  /// unset = the config default (on).
+  std::optional<bool> gen_ternary_filter;
   /// Portfolio lemma exchange endpoint for this backend (non-owning, may
   /// be null; engine/lemma_exchange.hpp).  IC3-family backends publish
   /// installed lemmas and import validated peer lemmas through it.

@@ -87,6 +87,8 @@ PortfolioResult run_portfolio(const ts::TransitionSystem& ts,
     ctx.seed = options.seed;
     ctx.ic3_overrides = options.ic3_overrides;
     ctx.gen_spec = options.gen_spec;
+    ctx.lift_sim = options.lift_sim;
+    ctx.gen_ternary_filter = options.gen_ternary_filter;
     if (hub != nullptr) {
       buses.push_back(std::make_unique<PeerBus>(*hub, hub->add_peer()));
       ctx.lemma_bus = buses.back().get();

@@ -42,6 +42,11 @@ struct PortfolioOptions {
   /// Generalization-strategy spec applied to every IC3-family backend
   /// (empty = each keeps its own; see BackendContext::gen_spec).
   std::string gen_spec;
+  /// Lifter ternary-simulation backend / MIC drop-filter overrides applied
+  /// to every IC3-family backend (unset = config defaults); see
+  /// BackendContext.
+  std::optional<ic3::Config::LiftSim> lift_sim;
+  std::optional<bool> gen_ternary_filter;
   /// Share generalized lemmas between the racing backends through a
   /// LemmaExchange hub; every import is re-validated by the importer, so
   /// verdicts stay sound and deterministic.

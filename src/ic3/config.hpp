@@ -80,6 +80,21 @@ struct Config {
   /// approach of Een–Mishchenko), or none (full model cubes).
   enum class LiftMode { kSat, kTernary, kNone };
   LiftMode lift_mode = LiftMode::kSat;
+  /// Ternary-simulation backend for the ternary lifter: the bit-packed
+  /// two-plane simulator (32 assignments per word, batched candidate
+  /// triage + event-driven confirmation; default — it wins the
+  /// BM_TernaryPacked_vs_Byte micro-benchmark) or the byte-wise reference
+  /// simulator (kept for A/B runs and the differential tests).  Both
+  /// produce bit-identical lifted cubes.
+  enum class LiftSim { kPacked, kByte };
+  LiftSim lift_sim = LiftSim::kPacked;
+  /// Ternary drop-filter in the shared MIC core (down/cav23 drop loops):
+  /// cache the CTI witness of each failed candidate-drop solve and skip a
+  /// later candidate when packed ternary simulation shows the cached
+  /// witness already defeats it.  Exact — only solves that would certainly
+  /// fail are skipped, so verdicts and invariants are unchanged; the off
+  /// position exists for A/B measurement.
+  bool gen_ternary_filter = true;
   bool reenqueue_obligations = true;
   /// Rebuild the main solver after this many retired temporary activation
   /// literals (controls junk accumulation).

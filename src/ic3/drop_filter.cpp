@@ -1,0 +1,136 @@
+#include "ic3/drop_filter.hpp"
+
+namespace pilot::ic3 {
+
+DropFilter::DropFilter(const ts::TransitionSystem& ts, Ic3Stats& stats)
+    : ts_(ts), stats_(stats), sim_(ts.aig()) {}
+
+void DropFilter::reset() {
+  for (Slot& s : slots_) s = Slot{};
+  next_slot_ = 0;
+  num_valid_ = 0;
+  dirty_ = false;
+}
+
+void DropFilter::add_witness(const Cube& state, const std::vector<Lit>& inputs,
+                             std::size_t level) {
+  const std::size_t lane = next_slot_;
+  next_slot_ = (next_slot_ + 1) % kSlots;
+  if (!slots_[lane].valid) ++num_valid_;
+  slots_[lane] = Slot{/*valid=*/true, /*constraints_ok=*/false, level};
+
+  // Clear the lane to all-X, then pin the assigned model literals; model
+  // variables the solver left unassigned stay X, which is sound — a check
+  // that fires on definite lane values holds for every completion.
+  for (std::size_t i = 0; i < ts_.num_latches(); ++i) {
+    sim_.set_latch(i, lane, aig::TV::kX);
+  }
+  for (std::size_t i = 0; i < ts_.num_inputs(); ++i) {
+    sim_.set_input(i, lane, aig::TV::kX);
+  }
+  for (const Lit l : state) {
+    const int idx = ts_.latch_index_of(l.var());
+    if (idx < 0) continue;
+    sim_.set_latch(static_cast<std::size_t>(idx), lane,
+                   l.sign() ? aig::TV::kZero : aig::TV::kOne);
+  }
+  for (const Lit l : inputs) {
+    for (std::size_t i = 0; i < ts_.num_inputs(); ++i) {
+      if (ts_.input_var(i) == l.var()) {
+        sim_.set_input(i, lane, l.sign() ? aig::TV::kZero : aig::TV::kOne);
+        break;
+      }
+    }
+  }
+  dirty_ = true;
+  ++stats_.num_filter_witnesses;
+}
+
+void DropFilter::on_lemma(const Cube& lemma, std::size_t level) {
+  if (num_valid_ == 0) return;
+  for (std::size_t k = 0; k < kSlots; ++k) {
+    Slot& slot = slots_[k];
+    if (!slot.valid) continue;
+    // A clause at `level` strengthens R_i for i <= level; the witness only
+    // claims frames R_j with j >= slot.level - 1, so installs strictly
+    // below that cannot touch it.
+    if (level + 1 < slot.level) continue;
+    // The witness survives iff its s definitely falsifies some literal of
+    // `lemma` (then s satisfies the new clause ¬lemma, so s ⊨ R still
+    // holds).  Latch lane values were pinned at add_witness time and are
+    // readable without a sweep.
+    bool outside = false;
+    for (const Lit l : lemma) {
+      const int idx = ts_.latch_index_of(l.var());
+      if (idx < 0) continue;
+      const std::uint32_t latch_node =
+          ts_.aig().latches()[static_cast<std::size_t>(idx)];
+      const aig::TV against = l.sign() ? aig::TV::kOne : aig::TV::kZero;
+      if (sim_.value(aig::AigLit::make(latch_node, false), k) == against) {
+        outside = true;
+        break;
+      }
+    }
+    if (!outside) {
+      slot.valid = false;
+      --num_valid_;
+    }
+  }
+}
+
+void DropFilter::refresh() {
+  sim_.compute();
+  for (std::size_t k = 0; k < kSlots; ++k) {
+    if (!slots_[k].valid) continue;
+    bool ok = true;
+    for (const aig::AigLit c : ts_.aig().constraints()) {
+      if (sim_.value(c, k) != aig::TV::kOne) {
+        ok = false;
+        break;
+      }
+    }
+    slots_[k].constraints_ok = ok;
+  }
+  dirty_ = false;
+  stats_.num_packed_sim_words += sim_.take_words_evaluated();
+}
+
+bool DropFilter::rejects(const Cube& cand, std::size_t level) {
+  if (num_valid_ == 0) return false;
+  ++stats_.num_filter_checks;
+  if (dirty_) refresh();
+  for (std::size_t k = 0; k < kSlots; ++k) {
+    const Slot& slot = slots_[k];
+    // A witness recorded at `slot.level` satisfies R_{slot.level-1}, hence
+    // every weaker frame R_{l-1} with l >= slot.level.
+    if (!slot.valid || !slot.constraints_ok || slot.level > level) continue;
+    bool outside = false;    // s falsifies some literal of cand
+    bool succ_in = true;     // s' satisfies every literal of cand
+    for (const Lit l : cand) {
+      const int idx = ts_.latch_index_of(l.var());
+      if (idx < 0) {
+        succ_in = false;
+        break;
+      }
+      const std::uint32_t latch_node =
+          ts_.aig().latches()[static_cast<std::size_t>(idx)];
+      const aig::TV want = l.sign() ? aig::TV::kZero : aig::TV::kOne;
+      const aig::TV against = l.sign() ? aig::TV::kOne : aig::TV::kZero;
+      if (!outside &&
+          sim_.value(aig::AigLit::make(latch_node, false), k) == against) {
+        outside = true;
+      }
+      if (sim_.value(ts_.aig().next(latch_node), k) != want) {
+        succ_in = false;
+        break;
+      }
+    }
+    if (outside && succ_in) {
+      ++stats_.num_filter_solves_saved;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pilot::ic3

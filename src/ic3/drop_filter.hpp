@@ -1,0 +1,97 @@
+/// \file drop_filter.hpp
+/// Ternary drop-filter for the shared MIC core: skip relative-induction
+/// solves that a cached counterexample already defeats.
+///
+/// When a candidate drop fails, the solver hands back a CTI model (s, y):
+/// a state s in the frame, outside the candidate, whose successor
+/// s' = T(s, y) lands back inside the candidate.  The same (s, y) defeats
+/// every *later* candidate `cand` of the drop loop with
+///
+///     s ∉ cand   and   s' ⊨ cand   (and the invariant constraints hold),
+///
+/// because (s, y, s') is then a ready-made satisfying assignment of the
+/// later query  R ∧ ¬cand ∧ T ∧ cand' — the solver would certainly return
+/// SAT, so the solve can be skipped without changing any outcome.
+///
+/// The filter keeps up to 32 witnesses, one per lane of a
+/// PackedTernarySimulator: adding a witness seeds its lane with s and y
+/// (unassigned model variables stay X), one packed sweep computes all
+/// cached successors at once, and screening a candidate is a few lane
+/// reads per literal.  X-propagation makes partial models sound: a check
+/// only fires on definite lane values, which hold for *every* completion
+/// of the partial model.
+///
+/// Within a single MIC pass the cache provably never fires: when the drop
+/// of literal l fails, the CTI successor s' cannot satisfy the still-held
+/// cube (relative inductiveness of the cube would force s back inside it),
+/// so s'(l) is wrong for every later candidate of the pass — they all
+/// retain l.  The payoff is *across* passes: a witness from one cube's
+/// generalization defeats candidates of later cubes blocked nearby.
+///
+/// Exactness across passes requires tracking frame strengthening: a
+/// witness claims s ⊨ R_{level-1}, which a newly installed clause ¬g can
+/// break.  The owner reports every install through on_lemma(); a witness
+/// survives only when its cached s *definitely* satisfies ¬g (some
+/// literal of g reads definitely-false in the lane — X is conservatively
+/// treated as a violation).  Installs strictly below the witness level
+/// cannot affect any frame the witness claims and are skipped.  The ctg
+/// loop is *not* filtered: it consumes the CTI model of every failed
+/// solve, so skipping the solve would change its behaviour.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "aig/simulation.hpp"
+#include "ic3/cube.hpp"
+#include "ic3/stats.hpp"
+#include "ts/transition_system.hpp"
+
+namespace pilot::ic3 {
+
+class DropFilter {
+ public:
+  DropFilter(const ts::TransitionSystem& ts, Ic3Stats& stats);
+
+  /// Forgets every cached witness.  Only needed when frame strengthening
+  /// can bypass on_lemma() (not the case for the engine's install paths);
+  /// kept for tests and defensive callers.
+  void reset();
+
+  /// The clause ¬`lemma` was installed into the frames at `level`:
+  /// invalidates every witness whose cached state is not *definitely*
+  /// outside `lemma` (and whose level the install can affect).
+  void on_lemma(const Cube& lemma, std::size_t level);
+
+  /// Caches the CTI model of a failed candidate-drop solve issued at
+  /// `level` (partial models are fine).  Overwrites the oldest witness
+  /// when all 32 lanes are in use.
+  void add_witness(const Cube& state, const std::vector<Lit>& inputs,
+                   std::size_t level);
+
+  /// True when a cached witness proves the relative-induction solve for
+  /// `cand` at `level` would fail — the caller may skip it.
+  [[nodiscard]] bool rejects(const Cube& cand, std::size_t level);
+
+ private:
+  static constexpr std::size_t kSlots = aig::PackedTernarySimulator::kLanes;
+
+  struct Slot {
+    bool valid = false;
+    bool constraints_ok = false;  // all invariant constraints definite-one
+    std::size_t level = 0;
+  };
+
+  void refresh();  // re-sweep after new witnesses, recheck constraints
+
+  const ts::TransitionSystem& ts_;
+  Ic3Stats& stats_;
+  aig::PackedTernarySimulator sim_;
+  std::array<Slot, kSlots> slots_;
+  std::size_t next_slot_ = 0;
+  std::size_t num_valid_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace pilot::ic3

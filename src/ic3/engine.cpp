@@ -17,6 +17,7 @@ void Engine::add_lemma(const Cube& cube, std::size_t level) {
   std::size_t removed = 0;
   if (frames_.add_lemma(cube, level, &removed)) {
     solvers_.add_lemma_clause(cube, level);
+    generalizer_.on_lemma(cube, level);
     ++stats_.num_lemmas;
     stats_.num_subsumed_lemmas += removed;
     if (cfg_.lemma_bus != nullptr && !importing_) {
@@ -244,6 +245,9 @@ bool Engine::propagate(const Deadline& deadline) {
         frames_.remove_lemma(c, i);
         if (frames_.add_lemma(c, i + 1)) {
           solvers_.add_lemma_clause(c, i + 1);
+          // A push strengthens R_{i+1} (the clause moves up a frame), so
+          // frame-dependent strategy caches must hear about it too.
+          generalizer_.on_lemma(c, i + 1);
         }
         ++stats_.num_push_successes;
       } else if (generalizer_.wants_push_failures()) {

@@ -107,6 +107,12 @@ void DynamicStrategy::on_propagate() {
   (void)evaluate_switch();
 }
 
+void DynamicStrategy::on_lemma(const Cube& lemma, std::size_t level) {
+  // Every candidate keeps its own frame-dependent caches current, not just
+  // the active one — a switch must not resurrect stale witnesses.
+  for (auto& c : candidates_) c->on_lemma(lemma, level);
+}
+
 std::size_t DynamicStrategy::pick_successor() const {
   // Exploration first: the nearest never-tried candidate after the active
   // one in rotation order.

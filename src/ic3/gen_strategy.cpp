@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "ic3/drop_filter.hpp"
 #include "ic3/gen_dynamic.hpp"
 #include "ic3/predictor.hpp"
 
@@ -23,7 +24,14 @@ namespace {
 class FixedStrategy final : public GenStrategy {
  public:
   FixedStrategy(const GenContext& ctx, std::string name, GenMode mode)
-      : ctx_(ctx), name_(std::move(name)), mode_(mode) {}
+      : ctx_(ctx), name_(std::move(name)), mode_(mode) {
+    // The ternary drop-filter only applies to the plain drop loops: the
+    // ctg loop consumes the CTI model of every failed solve, so skipping
+    // a solve there would change its behaviour (see drop_filter.hpp).
+    if (ctx_.cfg.gen_ternary_filter && mode_ != GenMode::kCtg) {
+      filter_ = std::make_unique<DropFilter>(ctx_.ts, ctx_.stats);
+    }
+  }
 
   [[nodiscard]] const std::string& name() const override { return name_; }
 
@@ -31,7 +39,14 @@ class FixedStrategy final : public GenStrategy {
                   const Deadline& deadline,
                   const AddLemmaFn& add_lemma) override {
     (void)cube;  // drop loops start from the core-shrunk cube
+    // Witnesses persist across generalizations: every frame-strengthening
+    // install reaches the filter through on_lemma(), which keeps the cache
+    // exact without wholesale resets.
     return mic(core, level, /*depth=*/0, deadline, add_lemma);
+  }
+
+  void on_lemma(const Cube& lemma, std::size_t level) override {
+    if (filter_) filter_->on_lemma(lemma, level);
   }
 
  private:
@@ -69,6 +84,7 @@ class FixedStrategy final : public GenStrategy {
           ++ctx_.stats.num_mic_drops;
         }
       } else {
+        if (filter_ && filter_->rejects(cand, level)) continue;
         ++ctx_.stats.num_mic_queries;
         Cube core;
         if (ctx_.solvers.relative_inductive(cand, level - 1,
@@ -76,6 +92,9 @@ class FixedStrategy final : public GenStrategy {
                                             &core, deadline)) {
           cube = core;
           ++ctx_.stats.num_mic_drops;
+        } else if (filter_) {
+          filter_->add_witness(ctx_.solvers.model_state(/*primed=*/false),
+                               ctx_.solvers.model_inputs(), level);
         }
       }
     }
@@ -139,6 +158,7 @@ class FixedStrategy final : public GenStrategy {
   const GenContext ctx_;
   const std::string name_;
   const GenMode mode_;
+  std::unique_ptr<DropFilter> filter_;  // null: ctg mode or filter off
 };
 
 // ----- the DAC'24 prediction strategy ----------------------------------------
@@ -180,6 +200,10 @@ class PredictStrategy final : public GenStrategy {
     if (ctx_.cfg.clear_failure_push_on_propagate) {
       predictor_.clear();  // paper line 44: reconstruct the hash table
     }
+  }
+
+  void on_lemma(const Cube& lemma, std::size_t level) override {
+    fallback_.on_lemma(lemma, level);
   }
 
  private:

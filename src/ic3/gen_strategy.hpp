@@ -94,6 +94,16 @@ class GenStrategy {
   /// predictor clears its failure table here (paper line 44); "dynamic"
   /// additionally evaluates its switching policy.
   virtual void on_propagate() {}
+
+  /// A lemma (the clause ¬`lemma`) was installed into the frames at
+  /// `level` — by the engine's blocking loop, mid-generalization (CTG
+  /// blocking), a propagation push, or a lemma-exchange import.  Installs
+  /// strengthen frames, so strategies holding frame-dependent caches (the
+  /// ternary drop-filter's CTI witnesses) invalidate them here.
+  virtual void on_lemma(const Cube& lemma, std::size_t level) {
+    (void)lemma;
+    (void)level;
+  }
 };
 
 using GenStrategyFactory = std::function<std::unique_ptr<GenStrategy>(

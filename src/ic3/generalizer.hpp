@@ -55,6 +55,13 @@ class Generalizer {
   /// Propagation-boundary hook: table clears, dynamic strategy switching.
   void on_propagate() { strategy_->on_propagate(); }
 
+  /// Lemma-install hook: the engine reports every clause that lands in the
+  /// frames (blocking, pushes, exchange imports) so strategies can keep
+  /// frame-dependent caches exact.
+  void on_lemma(const Cube& lemma, std::size_t level) {
+    strategy_->on_lemma(lemma, level);
+  }
+
   /// Registry name of the configured strategy ("down", "dynamic", …).
   [[nodiscard]] const std::string& strategy_name() const {
     return strategy_->name();

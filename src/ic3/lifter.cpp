@@ -14,9 +14,13 @@ Lifter::Lifter(const ts::TransitionSystem& ts, const Config& cfg,
     solver_->set_seed(cfg.seed);
     ts_.install(*solver_);
   } else if (cfg_.lift_mode == Config::LiftMode::kTernary) {
-    ternary_ = std::make_unique<aig::TernarySimulator>(ts_.aig());
-    latch_values_.resize(ts_.num_latches());
-    input_values_.resize(ts_.num_inputs());
+    if (cfg_.lift_sim == Config::LiftSim::kPacked) {
+      packed_ = std::make_unique<aig::PackedTernarySimulator>(ts_.aig());
+    } else {
+      ternary_ = std::make_unique<aig::TernarySimulator>(ts_.aig());
+      latch_values_.resize(ts_.num_latches());
+      input_values_.resize(ts_.num_inputs());
+    }
   }
 }
 
@@ -42,8 +46,18 @@ Cube Lifter::core_projection(const Cube& full) const {
 
 // ----- ternary lifting -------------------------------------------------------
 
+aig::TV Lifter::sim_value(aig::AigLit lit, std::size_t lane) const {
+  return packed_ ? packed_->value(lit, lane) : ternary_->value(lit);
+}
+
 Cube Lifter::ternary_lift(const Cube& full, const std::vector<Lit>& inputs,
-                          const std::function<bool()>& target_definite) {
+                          const TargetFn& target_definite) {
+  return packed_ ? ternary_lift_packed(full, inputs, target_definite)
+                 : ternary_lift_byte(full, inputs, target_definite);
+}
+
+Cube Lifter::ternary_lift_byte(const Cube& full, const std::vector<Lit>& inputs,
+                               const TargetFn& target_definite) {
   // Seed the simulator frame: latches from `full`, inputs from `inputs`,
   // everything else X.
   std::fill(latch_values_.begin(), latch_values_.end(), aig::TV::kX);
@@ -64,11 +78,11 @@ Cube Lifter::ternary_lift(const Cube& full, const std::vector<Lit>& inputs,
     }
   }
   ternary_->compute(latch_values_, input_values_);
-  if (!target_definite()) return full;  // partial model: nothing provable
+  if (!target_definite(0)) return full;  // partial model: nothing provable
 
   // Drop latches one at a time, keeping the X when the target stays
-  // definite.  (Production PDR uses event-driven re-evaluation; a full
-  // sweep per latch is fine at this repository's circuit sizes.)
+  // definite — one full sweep per latch; the packed backend below is the
+  // production path.
   std::vector<Lit> kept;
   std::vector<Lit> order(full.begin(), full.end());
   for (std::size_t i = 0; i < order.size(); ++i) {
@@ -78,7 +92,7 @@ Cube Lifter::ternary_lift(const Cube& full, const std::vector<Lit>& inputs,
     const aig::TV saved = latch_values_[static_cast<std::size_t>(idx)];
     latch_values_[static_cast<std::size_t>(idx)] = aig::TV::kX;
     ternary_->compute(latch_values_, input_values_);
-    if (!target_definite()) {
+    if (!target_definite(0)) {
       latch_values_[static_cast<std::size_t>(idx)] = saved;  // must keep
       kept.push_back(l);
     }
@@ -87,18 +101,108 @@ Cube Lifter::ternary_lift(const Cube& full, const std::vector<Lit>& inputs,
   return Cube::from_sorted(std::move(kept));
 }
 
+Cube Lifter::ternary_lift_packed(const Cube& full,
+                                 const std::vector<Lit>& inputs,
+                                 const TargetFn& target_definite) {
+  constexpr std::size_t kLanes = aig::PackedTernarySimulator::kLanes;
+  aig::PackedTernarySimulator& sim = *packed_;
+  // Seed every lane with the full frame: latches from `full`, inputs from
+  // `inputs`, everything else X.
+  for (std::size_t i = 0; i < ts_.num_latches(); ++i) {
+    sim.set_latch(i, aig::TV::kX);
+  }
+  for (std::size_t i = 0; i < ts_.num_inputs(); ++i) {
+    sim.set_input(i, aig::TV::kX);
+  }
+  struct Cand {
+    Lit lit;
+    std::size_t idx;  // latch index
+    aig::TV v;        // assigned value in `full`
+    bool keep = false;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(full.size());
+  for (const Lit l : full) {
+    const int idx = ts_.latch_index_of(l.var());
+    if (idx < 0) continue;
+    const aig::TV v = l.sign() ? aig::TV::kZero : aig::TV::kOne;
+    sim.set_latch(static_cast<std::size_t>(idx), v);
+    cands.push_back(Cand{l, static_cast<std::size_t>(idx), v});
+  }
+  for (const Lit l : inputs) {
+    for (std::size_t i = 0; i < ts_.num_inputs(); ++i) {
+      if (ts_.input_var(i) == l.var()) {
+        sim.set_input(i, l.sign() ? aig::TV::kZero : aig::TV::kOne);
+        break;
+      }
+    }
+  }
+  sim.compute();
+  if (!target_definite(0)) {  // partial model: nothing provable
+    stats_.num_packed_sim_words += sim.take_words_evaluated();
+    return full;
+  }
+
+  // Phase 1 — batched triage: lane j X-es out candidate j only, so one
+  // sweep judges up to 32 candidates against the original assignment.  A
+  // candidate whose target goes X here can never be dropped later —
+  // ternary simulation is monotone in X, and the live frame only gains
+  // X's — so it is kept permanently without ever re-testing it.
+  std::vector<std::size_t> plausible;
+  for (std::size_t base = 0; base < cands.size(); base += kLanes) {
+    const std::size_t n = std::min(cands.size() - base, kLanes);
+    for (std::size_t j = 0; j < n; ++j) {
+      sim.set_latch(cands[base + j].idx, j, aig::TV::kX);
+    }
+    sim.compute();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (target_definite(j)) {
+        plausible.push_back(base + j);
+      } else {
+        cands[base + j].keep = true;
+      }
+      sim.set_latch(cands[base + j].idx, j, cands[base + j].v);
+    }
+  }
+  // Re-establish the full assignment on every lane: the triage sweeps left
+  // the AND words computed for the last batch's X-outs.
+  sim.compute();
+
+  // Phase 2 — sequential confirmation of the plausible candidates, in cube
+  // order, against the live frame (accepted X's accumulate): X out one
+  // latch at a time, re-evaluating only its fanout cone.  This preserves
+  // the certified-assignment invariant of the byte-wise loop, so both
+  // backends produce identical cubes.
+  for (const std::size_t c : plausible) {
+    sim.trial_set_latch(cands[c].idx, aig::TV::kX);
+    if (target_definite(0)) {
+      sim.trial_commit();  // X accepted: candidate dropped
+    } else {
+      sim.trial_rollback();
+      cands[c].keep = true;
+    }
+  }
+  stats_.num_packed_sim_words += sim.take_words_evaluated();
+  std::vector<Lit> kept;
+  for (const Cand& c : cands) {
+    if (c.keep) kept.push_back(c.lit);
+  }
+  if (kept.empty()) return full;  // defensive
+  return Cube::from_sorted(std::move(kept));
+}
+
 Cube Lifter::ternary_lift_predecessor(const Cube& pred_full,
                                       const std::vector<Lit>& inputs,
                                       const Cube& successor) {
-  auto target_definite = [&]() {
+  auto target_definite = [&](std::size_t lane) {
     for (const aig::AigLit c : ts_.aig().constraints()) {
-      if (ternary_->value(c) != aig::TV::kOne) return false;
+      if (sim_value(c, lane) != aig::TV::kOne) return false;
     }
     for (const Lit l : successor) {
       const int idx = ts_.latch_index_of(l.var());
       const std::uint32_t latch_node =
           ts_.aig().latches()[static_cast<std::size_t>(idx)];
-      const aig::TV v = ternary_->value(ts_.aig().next(latch_node));
+      const aig::TV v = sim_value(ts_.aig().next(latch_node), lane);
       const aig::TV want = l.sign() ? aig::TV::kZero : aig::TV::kOne;
       if (v != want) return false;
     }
@@ -109,10 +213,14 @@ Cube Lifter::ternary_lift_predecessor(const Cube& pred_full,
 
 Cube Lifter::ternary_lift_bad(const Cube& state_full,
                               const std::vector<Lit>& inputs) {
-  auto target_definite = [&]() {
+  auto target_definite = [&](std::size_t lane) {
+    // No constraint checks needed: the bad cone conjoins the invariant
+    // constraints at TransitionSystem construction, so bad == 1 (definite)
+    // already forces every constraint definite-true.
     const Lit bad = ts_.bad();
-    const aig::TV v = ternary_->value(aig::AigLit::make(
-        static_cast<std::uint32_t>(bad.var()), bad.sign()));
+    const aig::TV v = sim_value(
+        aig::AigLit::make(static_cast<std::uint32_t>(bad.var()), bad.sign()),
+        lane);
     return v == aig::TV::kOne;
   };
   return ternary_lift(state_full, inputs, target_definite);

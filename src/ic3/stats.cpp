@@ -90,6 +90,12 @@ std::string Ic3Stats::summary() const {
         << " SR_lp=" << sr_lp() << " SR_fp=" << sr_fp()
         << " SR_adv=" << sr_adv();
   }
+  if (num_filter_checks > 0 || num_packed_sim_words > 0) {
+    oss << " | ternary: filter_checks=" << num_filter_checks
+        << " solves_saved=" << num_filter_solves_saved
+        << " witnesses=" << num_filter_witnesses
+        << " packed_words=" << num_packed_sim_words;
+  }
   for (const GenStrategyStats& s : gen_strategies) {
     oss << " | gen[" << s.name << "]: attempts=" << s.attempts
         << " successes=" << s.successes << " queries=" << s.queries

@@ -89,6 +89,19 @@ struct Ic3Stats {
   /// by SolverManager::rebuild (Config::rebuild_carry_state).
   std::uint64_t num_rebuild_carried_phases = 0;
 
+  // --- ternary drop-filter + packed simulation (Config::gen_ternary_filter,
+  // --- Config::lift_sim) ---
+  /// Candidate drops screened against the cached-CTI witness filter.
+  std::uint64_t num_filter_checks = 0;
+  /// Candidates a cached witness rejected — relative-induction solves that
+  /// were skipped because they would certainly have failed.
+  std::uint64_t num_filter_solves_saved = 0;
+  /// CTI witnesses cached by the filter from failed drop solves.
+  std::uint64_t num_filter_witnesses = 0;
+  /// Node-words (32 packed lanes each) evaluated by packed ternary
+  /// simulation, across the lifter and the drop-filter.
+  std::uint64_t num_packed_sim_words = 0;
+
   // --- generalization strategies (gen_strategy.hpp) ---
   /// One entry per strategy that performed ≥ 1 generalization this run,
   /// in first-use order.

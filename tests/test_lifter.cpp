@@ -16,7 +16,8 @@ namespace {
 /// A circuit where most latches are irrelevant to the property: an 8-bit
 /// free counter plus a 1-bit flag latch; bad = flag & (count == 3).
 struct LiftFixture {
-  explicit LiftFixture(Config::LiftMode mode) {
+  explicit LiftFixture(Config::LiftMode mode,
+                       Config::LiftSim sim = Config::LiftSim::kPacked) {
     aig::Aig a;
     const aig::AigLit set_flag = a.add_input("set");
     const circuits::Word count = circuits::make_latches(a, 8, 0, "count");
@@ -27,6 +28,7 @@ struct LiftFixture {
     ts = std::make_unique<ts::TransitionSystem>(
         ts::TransitionSystem::from_aig(a));
     cfg.lift_mode = mode;
+    cfg.lift_sim = sim;
     lifter = std::make_unique<Lifter>(*ts, cfg, stats);
     solvers = std::make_unique<SolverManager>(*ts, cfg, stats);
     solvers->ensure_level(1);
@@ -54,6 +56,17 @@ struct LiftFixture {
     for (const Lit l : successor) clause.push_back(~ts->prime(l));
     s.add_clause(clause);
     std::vector<Lit> assumptions{act};
+    for (const Lit l : inputs) assumptions.push_back(l);
+    for (const Lit l : cube) assumptions.push_back(l);
+    return s.solve(assumptions) == sat::SolveResult::kUnsat;
+  }
+
+  /// Independent validation of a bad lift: every state in `cube` with
+  /// `inputs` must raise bad:  UNSAT(cube ∧ inputs ∧ ¬bad).
+  bool bad_lift_is_valid(const Cube& cube, const std::vector<Lit>& inputs) {
+    sat::Solver s;
+    ts->install(s);
+    std::vector<Lit> assumptions{~ts->bad()};
     for (const Lit l : inputs) assumptions.push_back(l);
     for (const Lit l : cube) assumptions.push_back(l);
     return s.solve(assumptions) == sat::SolveResult::kUnsat;
@@ -128,27 +141,101 @@ INSTANTIATE_TEST_SUITE_P(Modes, LifterModes,
                            }
                          });
 
+// ----- ternary backend parity ------------------------------------------------
+
+class LifterSimBackends : public ::testing::TestWithParam<Config::LiftSim> {};
+
+TEST_P(LifterSimBackends, PredecessorLiftsAreSoundAndNeverGrow) {
+  LiftFixture f(Config::LiftMode::kTernary, GetParam());
+  for (std::uint64_t count = 0; count < 8; ++count) {
+    for (const bool flag : {false, true}) {
+      const Cube pred = f.full_state(count, flag);
+      const Cube succ = f.full_state(count + 1, flag);
+      const std::vector<Lit> inputs{Lit::make(f.ts->input_var(0), !flag)};
+      const Cube lifted = f.lifter->lift_predecessor(pred, inputs, succ, {});
+      EXPECT_TRUE(lifted.subset_of(pred)) << count << "/" << flag;
+      EXPECT_LE(lifted.size(), pred.size());
+      EXPECT_TRUE(f.lift_is_valid(lifted, inputs, succ))
+          << "count=" << count << " flag=" << flag << " "
+          << lifted.to_string();
+    }
+  }
+}
+
+TEST_P(LifterSimBackends, BadLiftsAreIndependentlyValidated) {
+  LiftFixture f(Config::LiftMode::kTernary, GetParam());
+  // (count=3, flag=1) raises bad; the lift may only shrink the cube and
+  // every completion of the result must still raise bad.
+  const Cube state = f.full_state(3, true);
+  const std::vector<Lit> inputs{Lit::make(f.ts->input_var(0), true)};
+  const Cube lifted = f.lifter->lift_bad(state, inputs, {});
+  EXPECT_TRUE(lifted.subset_of(state));
+  EXPECT_LE(lifted.size(), state.size());
+  EXPECT_TRUE(f.bad_lift_is_valid(lifted, inputs)) << lifted.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sims, LifterSimBackends,
+                         ::testing::Values(Config::LiftSim::kPacked,
+                                           Config::LiftSim::kByte),
+                         [](const auto& info) {
+                           return info.param == Config::LiftSim::kPacked
+                                      ? "packed"
+                                      : "byte";
+                         });
+
+TEST(Lifter, PackedAndByteProduceIdenticalCubes) {
+  // The packed backend is a performance rewrite, not a semantic variant:
+  // its triage + sequential-confirmation schedule is proven to track the
+  // byte-wise loop exactly, so the lifted cubes must be *equal*, not
+  // merely both sound.
+  LiftFixture packed(Config::LiftMode::kTernary, Config::LiftSim::kPacked);
+  LiftFixture byte(Config::LiftMode::kTernary, Config::LiftSim::kByte);
+  for (std::uint64_t count = 0; count < 16; ++count) {
+    for (const bool flag : {false, true}) {
+      const Cube pred = packed.full_state(count, flag);
+      const Cube succ_full = packed.full_state((count + 1) & 0xFF, flag);
+      const Cube succ_flag =
+          Cube::from_lits({Lit::make(packed.ts->state_var(8), !flag)});
+      const std::vector<Lit> inputs{
+          Lit::make(packed.ts->input_var(0), !flag)};
+      for (const Cube& succ : {succ_full, succ_flag}) {
+        const Cube a = packed.lifter->lift_predecessor(pred, inputs, succ, {});
+        const Cube b = byte.lifter->lift_predecessor(pred, inputs, succ, {});
+        EXPECT_EQ(a, b) << "count=" << count << " flag=" << flag << " pred "
+                        << a.to_string() << " vs " << b.to_string();
+      }
+      const Cube a = packed.lifter->lift_bad(pred, inputs, {});
+      const Cube b = byte.lifter->lift_bad(pred, inputs, {});
+      EXPECT_EQ(a, b) << "count=" << count << " flag=" << flag << " bad "
+                      << a.to_string() << " vs " << b.to_string();
+    }
+  }
+}
+
 TEST(Lifter, TernaryRespectsConstraints) {
   // Constrained shift register: the input is forced low; lifting a
   // predecessor must keep enough literals that the constraint evaluation
-  // stays definite-true.
+  // stays definite-true — on both ternary backends.
   const auto cc = circuits::shift_register(4, true);
   const ts::TransitionSystem ts = ts::TransitionSystem::from_aig(cc.aig);
-  Config cfg;
-  cfg.lift_mode = Config::LiftMode::kTernary;
-  Ic3Stats stats;
-  Lifter lifter(ts, cfg, stats);
-  // Predecessor: all stages 0; successor: all stages 0; input 0.
-  std::vector<Lit> state_lits;
-  for (std::size_t i = 0; i < ts.num_latches(); ++i) {
-    state_lits.push_back(Lit::make(ts.state_var(i), true));
+  for (const auto sim : {Config::LiftSim::kPacked, Config::LiftSim::kByte}) {
+    Config cfg;
+    cfg.lift_mode = Config::LiftMode::kTernary;
+    cfg.lift_sim = sim;
+    Ic3Stats stats;
+    Lifter lifter(ts, cfg, stats);
+    // Predecessor: all stages 0; successor: all stages 0; input 0.
+    std::vector<Lit> state_lits;
+    for (std::size_t i = 0; i < ts.num_latches(); ++i) {
+      state_lits.push_back(Lit::make(ts.state_var(i), true));
+    }
+    const Cube pred = Cube::from_lits(state_lits);
+    const Cube succ = pred;
+    const std::vector<Lit> inputs{Lit::make(ts.input_var(0), true)};
+    const Cube lifted = lifter.lift_predecessor(pred, inputs, succ, {});
+    EXPECT_TRUE(lifted.subset_of(pred));
+    EXPECT_FALSE(lifted.empty());
   }
-  const Cube pred = Cube::from_lits(state_lits);
-  const Cube succ = pred;
-  const std::vector<Lit> inputs{Lit::make(ts.input_var(0), true)};
-  const Cube lifted = lifter.lift_predecessor(pred, inputs, succ, {});
-  EXPECT_TRUE(lifted.subset_of(pred));
-  EXPECT_FALSE(lifted.empty());
 }
 
 }  // namespace

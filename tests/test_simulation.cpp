@@ -50,6 +50,33 @@ TEST(BitSimulator, ResetValuesRespectInit) {
   EXPECT_EQ(sim.latch_value(lx.node()), 0xDEADBEEFULL);
 }
 
+TEST(BitSimulator, UndefFillSurvivesComputeLatchStepRoundTrip) {
+  // Regression: the undef-fill pattern of an uninitialized latch must flow
+  // through compute()/latch_step() like any other state bit — an identity
+  // next-state function carries the exact pattern across steps, and a
+  // negating one returns it after two — and a later reset() must restore
+  // the pristine fill rather than a stepped remnant.
+  Aig a;
+  const AigLit keep = a.add_latch(l_Undef);
+  const AigLit flip = a.add_latch(l_Undef);
+  a.set_next(keep, keep);
+  a.set_next(flip, !flip);
+  BitSimulator sim(a);
+  const std::uint64_t fill = 0xDEADBEEFCAFEF00DULL;
+  sim.reset(fill);
+  for (int step = 1; step <= 4; ++step) {
+    sim.compute({});
+    sim.latch_step();
+    EXPECT_EQ(sim.latch_value(keep.node()), fill) << "step " << step;
+    EXPECT_EQ(sim.latch_value(flip.node()),
+              (step % 2) != 0 ? ~fill : fill)
+        << "step " << step;
+  }
+  sim.reset(fill);
+  EXPECT_EQ(sim.latch_value(keep.node()), fill);
+  EXPECT_EQ(sim.latch_value(flip.node()), fill);
+}
+
 TEST(BitSimulator, LatchToLatchFeedthroughUsesPreStepValues) {
   // Swap circuit: a <- b, b <- a; must exchange, not chain.
   Aig a;

@@ -134,6 +134,8 @@ int cmd_run(int argc, const char* const* argv) {
   std::int64_t jobs = 0;
   std::int64_t seed = 0;
   std::string out_path;
+  std::string lift_sim;
+  std::string ternary_filter;
   bool truncate = false;
   bool verify_witness = true;
   OptionParser parser(
@@ -148,6 +150,12 @@ int cmd_run(int argc, const char* const* argv) {
   parser.add_string("gen", &gen_spec,
                     "generalization-strategy override for the IC3-family "
                     "engines (down|ctg|cav23|predict|dynamic[:w,t])");
+  parser.add_choice("lift-sim", &lift_sim, {"packed", "byte"},
+                    "ternary-simulation backend for the lifter (default "
+                    "packed; byte for A/B)");
+  parser.add_choice("gen-ternary-filter", &ternary_filter, {"on", "off"},
+                    "ternary drop-filter in the MIC core (default on; off "
+                    "for A/B)");
   parser.add_int("budget-ms", &budget_ms, "per-case wall-clock budget");
   parser.add_int("jobs", &jobs, "worker threads (0 = hardware concurrency)");
   parser.add_int("seed", &seed, "engine seed");
@@ -166,6 +174,13 @@ int cmd_run(int argc, const char* const* argv) {
   check::RunMatrixOptions options;
   options.budget_ms = budget_ms;
   options.gen_spec = gen_spec;
+  if (!lift_sim.empty()) {
+    options.lift_sim = lift_sim == "byte" ? ic3::Config::LiftSim::kByte
+                                          : ic3::Config::LiftSim::kPacked;
+  }
+  if (!ternary_filter.empty()) {
+    options.gen_ternary_filter = ternary_filter == "on";
+  }
   options.jobs = static_cast<std::size_t>(jobs);
   options.seed = static_cast<std::uint64_t>(seed);
   options.verify_witness = verify_witness;

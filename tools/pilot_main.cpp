@@ -127,6 +127,8 @@ std::vector<std::string> family_names() {
 int main(int argc, char** argv) {
   std::string engine = "ic3-ctg-pl";
   std::string gen_spec;
+  std::string lift_sim;
+  std::string ternary_filter;
   bool exchange = false;
   std::int64_t budget_ms = 0;
   std::int64_t seed = 0;
@@ -162,6 +164,14 @@ int main(int argc, char** argv) {
   }
   gen_help += "; dynamic takes ':window,threshold' (e.g. dynamic:16,0.4)";
   parser.add_string("gen", &gen_spec, gen_help);
+  parser.add_choice("lift-sim", &lift_sim, {"packed", "byte"},
+                    "ternary-simulation backend for the lifter: bit-packed "
+                    "(32 patterns/word, default) or the byte-wise reference "
+                    "simulator (A/B)");
+  parser.add_choice("gen-ternary-filter", &ternary_filter, {"on", "off"},
+                    "ternary drop-filter in the MIC core: skip "
+                    "relative-induction solves a cached counterexample "
+                    "already defeats (default on; off for A/B)");
   parser.add_flag("exchange", &exchange,
                   "portfolio runs: share validated lemmas between the "
                   "racing IC3 backends (same as the portfolio-x spec)");
@@ -255,6 +265,13 @@ int main(int argc, char** argv) {
       check::RunMatrixOptions mo;
       mo.budget_ms = budget_ms;
       mo.gen_spec = gen_spec;
+      if (!lift_sim.empty()) {
+        mo.lift_sim = lift_sim == "byte" ? ic3::Config::LiftSim::kByte
+                                         : ic3::Config::LiftSim::kPacked;
+      }
+      if (!ternary_filter.empty()) {
+        mo.gen_ternary_filter = ternary_filter == "on";
+      }
       mo.share_lemmas = exchange;
       mo.seed = static_cast<std::uint64_t>(seed);
       mo.jobs = static_cast<std::size_t>(jobs);
@@ -328,6 +345,13 @@ int main(int argc, char** argv) {
     check::CheckOptions opts;
     opts.engine_spec = engine;  // resolved against the backend registry
     opts.gen_spec = gen_spec;
+    if (!lift_sim.empty()) {
+      opts.lift_sim = lift_sim == "byte" ? ic3::Config::LiftSim::kByte
+                                         : ic3::Config::LiftSim::kPacked;
+    }
+    if (!ternary_filter.empty()) {
+      opts.gen_ternary_filter = ternary_filter == "on";
+    }
     opts.share_lemmas = exchange;
     opts.budget_ms = budget_ms;
     opts.seed = static_cast<std::uint64_t>(seed);
