@@ -34,6 +34,10 @@ struct BmcResult {
 struct BmcOptions {
   int max_bound = 1000;
   std::uint64_t seed = 0;
+  /// Failed-literal probing over each newly unrolled frame, plus a one-shot
+  /// binary-implication SCC sweep once the transition relation is present.
+  /// Verdict preserving; off for A/B comparison.
+  bool inprocess = true;
 };
 
 /// Checks bad reachability for bounds 0..max_bound incrementally.  A

@@ -32,6 +32,10 @@ void add_state_disequality(sat::Solver& solver, const ts::Unroller& unroller,
   solver.add_clause(diff_bits);
 }
 
+/// Cap on failed-literal probes per newly unrolled frame (the solver's
+/// watermark already restricts each call to variables new since the last).
+constexpr std::size_t kProbesPerFrame = 4096;
+
 }  // namespace
 
 KindResult run_kinduction(const ts::TransitionSystem& ts,
@@ -62,6 +66,13 @@ KindResult run_kinduction(const ts::TransitionSystem& ts,
     }
     // Base case: counterexample of length k?
     base.extend_to(k);
+    if (options.inprocess) {
+      // One SCC sweep the first time a transition step is present (k == 1
+      // for the init-anchored base unrolling); probing is watermarked to
+      // the frame's new variables.  See the matching hook in run_bmc.
+      base_solver.probe_and_collapse(/*collapse_scc=*/k == 1,
+                                     kProbesPerFrame);
+    }
     {
       const std::vector<sat::Lit> assumptions{base.bad(k)};
       const sat::SolveResult res = base_solver.solve(assumptions, deadline);
@@ -80,6 +91,13 @@ KindResult run_kinduction(const ts::TransitionSystem& ts,
       for (int prev = 0; prev < k + 1; ++prev) {
         add_state_disequality(step_solver, step, ts, prev, k + 1);
       }
+    }
+    if (options.inprocess) {
+      // The step unrolling has a transition at k == 0 already (frames 0→1);
+      // its SCC sweep therefore runs on the first bound.  Probing also
+      // covers the freshly added simple-path difference variables.
+      step_solver.probe_and_collapse(/*collapse_scc=*/k == 0,
+                                     kProbesPerFrame);
     }
     {
       const std::vector<sat::Lit> assumptions{step.bad(k + 1)};

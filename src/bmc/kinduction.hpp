@@ -33,6 +33,9 @@ struct KindOptions {
   int max_k = 200;
   bool simple_path = true;
   std::uint64_t seed = 0;
+  /// Failed-literal probing of newly unrolled frames in the base and step
+  /// solvers (see BmcOptions::inprocess).  Verdict preserving.
+  bool inprocess = true;
 };
 
 /// A non-null `cancel` aborts the search cooperatively (verdict stays

@@ -87,6 +87,8 @@ CheckResult run_portfolio_backends(const ts::TransitionSystem& ts,
   po.gen_spec = options.gen_spec;
   po.lift_sim = options.lift_sim;
   po.gen_ternary_filter = options.gen_ternary_filter;
+  po.sat_inprocess = options.sat_inprocess;
+  po.gen_batch = options.gen_batch;
   po.share_lemmas = share_lemmas;
   // ic3_overrides is deliberately NOT forwarded: one override applied to
   // every IC3-family backend would collapse the race into identical
@@ -122,6 +124,8 @@ CheckResult check_ts(const ts::TransitionSystem& ts,
   ctx.gen_spec = options.gen_spec;
   ctx.lift_sim = options.lift_sim;
   ctx.gen_ternary_filter = options.gen_ternary_filter;
+  ctx.sat_inprocess = options.sat_inprocess;
+  ctx.gen_batch = options.gen_batch;
   const std::unique_ptr<engine::Backend> backend =
       engine::make_backend(spec, ts, ctx);
   engine::EngineResult r =

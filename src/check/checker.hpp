@@ -66,6 +66,14 @@ struct CheckOptions {
   /// Ternary drop-filter in the MIC core ("--gen-ternary-filter on|off");
   /// unset = the config default (on).  Same scope as lift_sim.
   std::optional<bool> gen_ternary_filter;
+  /// SAT inprocessing ("--sat-inprocess on|off"): lemma-install subsumption
+  /// and boundary vivification (IC3), failed-literal probing + SCC
+  /// collapsing (BMC/k-induction).  Unset = defaults (on); applies to every
+  /// backend, including portfolio members.
+  std::optional<bool> sat_inprocess;
+  /// Batched generalization probe width ("--gen-batch N", 1 = off); unset =
+  /// the config default.  Same scope as lift_sim.
+  std::optional<int> gen_batch;
   /// Portfolio runs: share validated lemmas between the racing IC3
   /// backends (also enabled by the "portfolio-x" spec form).
   bool share_lemmas = false;

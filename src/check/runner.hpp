@@ -55,6 +55,11 @@ struct RunMatrixOptions {
   /// CheckOptions::gen_ternary_filter); unset = config defaults.
   std::optional<ic3::Config::LiftSim> lift_sim;
   std::optional<bool> gen_ternary_filter;
+  /// SAT inprocessing / batched-probe overrides applied to every engine of
+  /// the matrix (CheckOptions::sat_inprocess / CheckOptions::gen_batch);
+  /// unset = config defaults.
+  std::optional<bool> sat_inprocess;
+  std::optional<int> gen_batch;
   /// Enable lemma exchange inside portfolio engine specs
   /// (CheckOptions::share_lemmas); "portfolio-x" specs enable it per-spec.
   bool share_lemmas = false;

@@ -74,6 +74,17 @@ json::Value stats_to_json(const ic3::Ic3Stats& s) {
   o["exchange_imported"] = s.num_exchange_imported;
   o["exchange_rejected"] = s.num_exchange_rejected;
   o["exchange_skipped"] = s.num_exchange_skipped;
+  // Inprocessing / batched-probe counters (PR 7): subsumption and
+  // vivification work done in place, probing yield on unrolled CNFs, and
+  // how many MIC candidate drops each batched solve answered.
+  o["sat_subsumed"] = s.sat_subsumed_clauses;
+  o["sat_strengthened"] = s.sat_strengthened_clauses;
+  o["sat_vivified_lits"] = s.sat_vivified_literals;
+  o["sat_probe_failed_lits"] = s.sat_probe_failed_literals;
+  o["sat_scc_merged"] = s.sat_scc_merged_vars;
+  o["batched_drop_solves"] = s.num_batched_drop_solves;
+  o["batched_drop_answers"] = s.num_batched_drop_answers;
+  o["rebuild_subsumed"] = s.num_rebuild_subsumed;
   return json::Value(std::move(o));
 }
 
@@ -125,6 +136,16 @@ ic3::Ic3Stats stats_from_json(const json::Value& v) {
   s.num_exchange_imported = v.at("exchange_imported").as_uint();
   s.num_exchange_rejected = v.at("exchange_rejected").as_uint();
   s.num_exchange_skipped = v.at("exchange_skipped").as_uint();
+  // Inprocessing / batched-probe fields (PR 7): absent in older rows —
+  // the same null/0 fallback keeps pre-existing baselines loadable.
+  s.sat_subsumed_clauses = v.at("sat_subsumed").as_uint();
+  s.sat_strengthened_clauses = v.at("sat_strengthened").as_uint();
+  s.sat_vivified_literals = v.at("sat_vivified_lits").as_uint();
+  s.sat_probe_failed_literals = v.at("sat_probe_failed_lits").as_uint();
+  s.sat_scc_merged_vars = v.at("sat_scc_merged").as_uint();
+  s.num_batched_drop_solves = v.at("batched_drop_solves").as_uint();
+  s.num_batched_drop_answers = v.at("batched_drop_answers").as_uint();
+  s.num_rebuild_subsumed = v.at("rebuild_subsumed").as_uint();
   return s;
 }
 

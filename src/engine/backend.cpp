@@ -33,6 +33,8 @@ class Ic3Backend final : public Backend {
     if (ctx.gen_ternary_filter.has_value()) {
       cfg_.gen_ternary_filter = *ctx.gen_ternary_filter;
     }
+    if (ctx.sat_inprocess.has_value()) cfg_.sat_inprocess = *ctx.sat_inprocess;
+    if (ctx.gen_batch.has_value()) cfg_.gen_batch = *ctx.gen_batch;
     cfg_.lemma_bus = ctx.lemma_bus;
   }
 
@@ -65,6 +67,7 @@ class BmcBackend final : public Backend {
   BmcBackend(const ts::TransitionSystem& ts, const BackendContext& ctx)
       : ts_(ts) {
     options_.seed = ctx.seed;
+    if (ctx.sat_inprocess.has_value()) options_.inprocess = *ctx.sat_inprocess;
   }
 
   [[nodiscard]] const std::string& name() const override {
@@ -98,6 +101,7 @@ class KinductionBackend final : public Backend {
   KinductionBackend(const ts::TransitionSystem& ts, const BackendContext& ctx)
       : ts_(ts) {
     options_.seed = ctx.seed;
+    if (ctx.sat_inprocess.has_value()) options_.inprocess = *ctx.sat_inprocess;
   }
 
   [[nodiscard]] const std::string& name() const override {

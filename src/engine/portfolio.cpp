@@ -89,6 +89,8 @@ PortfolioResult run_portfolio(const ts::TransitionSystem& ts,
     ctx.gen_spec = options.gen_spec;
     ctx.lift_sim = options.lift_sim;
     ctx.gen_ternary_filter = options.gen_ternary_filter;
+    ctx.sat_inprocess = options.sat_inprocess;
+    ctx.gen_batch = options.gen_batch;
     if (hub != nullptr) {
       buses.push_back(std::make_unique<PeerBus>(*hub, hub->add_peer()));
       ctx.lemma_bus = buses.back().get();

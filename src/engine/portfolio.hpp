@@ -47,6 +47,10 @@ struct PortfolioOptions {
   /// BackendContext.
   std::optional<ic3::Config::LiftSim> lift_sim;
   std::optional<bool> gen_ternary_filter;
+  /// SAT inprocessing / batched-generalization-probe overrides applied to
+  /// every backend (unset = config defaults); see BackendContext.
+  std::optional<bool> sat_inprocess;
+  std::optional<int> gen_batch;
   /// Share generalized lemmas between the racing backends through a
   /// LemmaExchange hub; every import is re-validated by the importer, so
   /// verdicts stay sound and deterministic.

@@ -106,6 +106,18 @@ struct Config {
   /// On by default; the off position exists for A/B measurement and for
   /// the verdict-equivalence tests.
   bool sat_trail_reuse = true;
+  /// SAT inprocessing: occurrence-list forward subsumption plus
+  /// self-subsuming resolution when lemma clauses are installed (a stronger
+  /// lemma retires weaker ones without waiting for a rebuild), and
+  /// vivification of long learnt clauses at frame boundaries.  Verdict
+  /// preserving; the off position exists for A/B measurement.
+  bool sat_inprocess = true;
+  /// Batched generalization probes: answer up to this many MIC candidate
+  /// drops with one relative-induction solve — UNSAT adopts the multi-drop
+  /// core, SAT attributes the CTI to every candidate whose single-drop
+  /// query it also witnesses.  1 disables batching (sequential drop loop);
+  /// ctgDown is never batched (it consumes each CTI individually).
+  int gen_batch = 4;
   /// Carry saved phases and (normalized) variable activities into the
   /// fresh solver when maybe_rebuild() retires one, instead of restarting
   /// the search heuristics from zero.

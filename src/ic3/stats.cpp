@@ -96,6 +96,10 @@ std::string Ic3Stats::summary() const {
         << " witnesses=" << num_filter_witnesses
         << " packed_words=" << num_packed_sim_words;
   }
+  if (num_batched_drop_solves > 0) {
+    oss << " | batch: drop_solves=" << num_batched_drop_solves
+        << " drop_answers=" << num_batched_drop_answers;
+  }
   for (const GenStrategyStats& s : gen_strategies) {
     oss << " | gen[" << s.name << "]: attempts=" << s.attempts
         << " successes=" << s.successes << " queries=" << s.queries
@@ -124,6 +128,18 @@ std::string Ic3Stats::summary() const {
         << " rebuilds=" << num_solver_rebuilds;
     if (num_rebuild_carried_phases > 0) {
       oss << " carried_vars=" << num_rebuild_carried_phases;
+    }
+  }
+  if (sat_subsumed_clauses > 0 || sat_strengthened_clauses > 0 ||
+      sat_vivified_literals > 0 || sat_probe_failed_literals > 0 ||
+      sat_scc_merged_vars > 0 || num_rebuild_subsumed > 0) {
+    oss << " | inprocess: subsumed=" << sat_subsumed_clauses
+        << " strengthened=" << sat_strengthened_clauses
+        << " vivified_lits=" << sat_vivified_literals
+        << " probe_failed_lits=" << sat_probe_failed_literals
+        << " scc_merged=" << sat_scc_merged_vars;
+    if (num_rebuild_subsumed > 0) {
+      oss << " rebuild_skips=" << num_rebuild_subsumed;
     }
   }
   return oss.str();

@@ -88,6 +88,18 @@ struct Ic3Stats {
   /// Variables whose saved phase/activity were carried into a fresh solver
   /// by SolverManager::rebuild (Config::rebuild_carry_state).
   std::uint64_t num_rebuild_carried_phases = 0;
+  /// Frame lemmas skipped by the cross-level dedup/subsume sweep in
+  /// SolverManager::rebuild (defensive: Frames maintains the invariant, so
+  /// nonzero values flag an upstream bug — and the rebuild stays sound).
+  std::uint64_t num_rebuild_subsumed = 0;
+
+  // --- batched generalization probes (Config::gen_batch) ---
+  /// Multi-candidate relative-induction solves issued by the batched MIC
+  /// drop loop (each replaces up to gen_batch single-candidate solves).
+  std::uint64_t num_batched_drop_solves = 0;
+  /// Candidate-drop answers obtained from batched solves: every candidate
+  /// of an UNSAT batch, plus every candidate a batch CTI defeats.
+  std::uint64_t num_batched_drop_answers = 0;
 
   // --- ternary drop-filter + packed simulation (Config::gen_ternary_filter,
   // --- Config::lift_sim) ---
@@ -137,6 +149,17 @@ struct Ic3Stats {
   /// Learnt clauses with LBD ≤ 2 (glue).
   std::uint64_t sat_glue_learnts = 0;
   std::uint64_t sat_db_reductions = 0;
+  // --- SAT inprocessing mirrors (Config::sat_inprocess) ---
+  /// Problem clauses retired by install-time forward subsumption.
+  std::uint64_t sat_subsumed_clauses = 0;
+  /// Problem clauses shortened by self-subsuming resolution.
+  std::uint64_t sat_strengthened_clauses = 0;
+  /// Literals removed from learnt clauses by vivification.
+  std::uint64_t sat_vivified_literals = 0;
+  /// Root units derived by failed-literal probing (BMC/k-ind unrollings).
+  std::uint64_t sat_probe_failed_literals = 0;
+  /// Variables rewritten to their binary-implication SCC representative.
+  std::uint64_t sat_scc_merged_vars = 0;
 
   /// Copies the SAT-layer aggregate into the mirror counters above.
   /// Idempotent — the engine calls it once per check() epilogue.
@@ -150,6 +173,11 @@ struct Ic3Stats {
     sat_binary_propagations = s.binary_propagations;
     sat_glue_learnts = s.glue_learnts;
     sat_db_reductions = s.db_reductions;
+    sat_subsumed_clauses = s.subsumed_clauses;
+    sat_strengthened_clauses = s.strengthened_clauses;
+    sat_vivified_literals = s.vivified_literals;
+    sat_probe_failed_literals = s.probe_failed_literals;
+    sat_scc_merged_vars = s.scc_merged_vars;
   }
 
   // --- timing (seconds) ---

@@ -1,0 +1,434 @@
+/// \file inprocess.cpp
+/// Inprocessing for sat::Solver, CaDiCaL/Glucose lineage, scheduled around
+/// IC3's query pattern instead of conflict counts:
+///
+///   * add_clause_subsuming() — occurrence-list forward subsumption and
+///     self-subsuming resolution, run when a lemma clause is installed so a
+///     stronger lemma retires/strengthens weaker ones immediately instead
+///     of waiting for the next solver rebuild.
+///   * vivify_learnts() — distillation of long learnt clauses (assume the
+///     negated prefix, shorten on conflict or implication), run at frame
+///     and rebuild boundaries where the kept trail is cold anyway.
+///   * probe_and_collapse() — failed-literal probing plus binary-implication
+///     SCC collapsing, run over unrolled BMC/k-induction CNFs where one
+///     preprocessing pass pays across every later bound.
+///
+/// Soundness constraints inherited from the solver core: only root-level
+/// values may simplify clauses, locked clauses (reasons on the trail) are
+/// never removed or shortened, and clauses change size only by realloc +
+/// reattach because the watch lists dispatch on size() == 2 (clause.hpp).
+#include <algorithm>
+#include <cassert>
+
+#include "sat/solver.hpp"
+
+namespace pilot::sat {
+namespace {
+
+/// Clauses longer than this skip the install-time subsumption pass; IC3
+/// lemma clauses are short, and the pass costs |occs| · |clause|.
+constexpr std::size_t kMaxSubsumeSize = 32;
+
+}  // namespace
+
+// ----- occurrence lists ------------------------------------------------------
+
+void Solver::set_inprocess(bool on) {
+  if (on == inprocess_) return;
+  inprocess_ = on;
+  occs_.clear();
+  if (on) occ_build();
+}
+
+void Solver::occ_build() {
+  occs_.assign(static_cast<std::size_t>(num_vars()) * 2, {});
+  for (const ClauseRef ref : clauses_) occ_attach(ref);
+}
+
+void Solver::occ_attach(ClauseRef ref) {
+  for (const Lit l : arena_.deref(ref)) {
+    const auto idx = static_cast<std::size_t>(l.index());
+    if (idx >= occs_.size()) occs_.resize(idx + 1);
+    occs_[idx].push_back(ref);
+  }
+}
+
+void Solver::occ_detach(ClauseRef ref) {
+  for (const Lit l : arena_.deref(ref)) {
+    const auto idx = static_cast<std::size_t>(l.index());
+    if (idx >= occs_.size()) continue;
+    auto& occ = occs_[idx];
+    for (std::size_t i = 0; i < occ.size(); ++i) {
+      if (occ[i] == ref) {
+        occ[i] = occ.back();
+        occ.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::erase_problem_clause(ClauseRef ref) {
+  remove_clause(ref);  // detaches watches + occurrences, frees arena space
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i] == ref) {
+      clauses_[i] = clauses_.back();
+      clauses_.pop_back();
+      return;
+    }
+  }
+  assert(false && "problem clause not found");
+}
+
+// ----- install-time (self-)subsumption ---------------------------------------
+
+std::size_t Solver::subsume_and_strengthen(std::span<const Lit> lits) {
+  if (lits.size() > kMaxSubsumeSize) return 0;
+  const auto need = static_cast<std::size_t>(num_vars()) * 2;
+  if (occs_.size() < need) occs_.resize(need);
+  if (inproc_mark_.size() < need) inproc_mark_.resize(need, 0);
+  for (const Lit l : lits) inproc_mark_[l.index()] = 1;
+
+  // Forward subsumption: any clause subsumed by the new one contains every
+  // literal of it — in particular the one with the fewest occurrences, so
+  // that literal's occurrence list covers all candidates.
+  Lit pivot = lits[0];
+  for (const Lit l : lits) {
+    if (occs_[l.index()].size() < occs_[pivot.index()].size()) pivot = l;
+  }
+  std::size_t removed = 0;
+  // Iterate over copies throughout: erasing/strengthening mutates the
+  // occurrence lists in place.
+  std::vector<ClauseRef> scratch = occs_[pivot.index()];
+  for (const ClauseRef ref : scratch) {
+    const Clause& c = arena_.deref(ref);
+    if (c.size() < lits.size()) continue;
+    if (clause_locked(ref)) continue;
+    std::size_t hits = 0;
+    for (const Lit cl : c) hits += inproc_mark_[cl.index()];
+    if (hits == lits.size()) {
+      erase_problem_clause(ref);
+      ++removed;
+      ++stats_.subsumed_clauses;
+    }
+  }
+
+  // Self-subsuming resolution: the new clause L resolves on l with any
+  // C ⊇ (L \ {l}) ∪ {¬l}, and the resolvent C \ {¬l} subsumes C — so C
+  // simply loses ¬l.  L itself cannot contain ¬l (it would be a tautology),
+  // so |C ∩ L| == |L| - 1 is exactly the containment condition.
+  for (const Lit l : lits) {
+    if (!ok_) break;
+    scratch = occs_[(~l).index()];
+    for (const ClauseRef ref : scratch) {
+      const Clause& c = arena_.deref(ref);
+      if (c.size() < lits.size()) continue;
+      if (clause_locked(ref)) continue;
+      std::size_t hits = 0;
+      for (const Lit cl : c) hits += inproc_mark_[cl.index()];
+      if (hits + 1 != lits.size()) continue;
+      std::vector<Lit> shorter;
+      shorter.reserve(c.size() - 1);
+      for (const Lit cl : c) {
+        if (cl != ~l) shorter.push_back(cl);
+      }
+      erase_problem_clause(ref);
+      ++stats_.strengthened_clauses;
+      // Re-adding handles unit promotion, mid-trail watch selection, and
+      // occurrence registration (strengthen = realloc + reattach).
+      if (!add_clause(shorter)) break;
+    }
+  }
+  for (const Lit l : lits) inproc_mark_[l.index()] = 0;
+  return removed;
+}
+
+bool Solver::add_clause_subsuming(std::span<const Lit> literals) {
+  if (!ok_) return false;
+  if (!inprocess_) return add_clause(literals);
+  std::vector<Lit> lits(literals.begin(), literals.end());
+  switch (normalize_clause(lits)) {
+    case ClauseNorm::kTrivial:
+      return true;
+    case ClauseNorm::kEmpty:
+      ok_ = false;
+      return false;
+    case ClauseNorm::kReady:
+      break;
+  }
+  if (lits.size() >= 2) subsume_and_strengthen(lits);
+  // add_clause re-normalizes, which matters: strengthening may have
+  // promoted units that now satisfy or shorten this clause at the root.
+  return add_clause(lits);
+}
+
+// ----- vivification ----------------------------------------------------------
+
+std::size_t Solver::vivify_learnts(std::size_t max_clauses) {
+  if (!ok_ || max_clauses == 0) return 0;
+  // Vivification works at the root and dirties the kept trail: callers
+  // schedule it at frame/rebuild boundaries, not between hot queries.
+  cancel_until(0);
+  prev_assumptions_.clear();
+  if (propagate() != kClauseRefUndef) {
+    ok_ = false;
+    return 0;
+  }
+
+  std::size_t shortened = 0;
+  std::size_t attempts = 0;
+  // Newest learnts first: they drive the current search and are the most
+  // likely to survive the next reduce_db round.
+  for (std::size_t pos = learnts_.size();
+       pos-- > 0 && attempts < max_clauses && ok_;) {
+    const ClauseRef ref = learnts_[pos];
+    std::uint32_t old_size = 0;
+    std::vector<Lit> lits;
+    {
+      const Clause& c = arena_.deref(ref);
+      if (c.size() < 3) continue;
+      if (clause_satisfied(c)) continue;  // root-satisfied; simplify() reaps
+      if (clause_locked(ref)) continue;
+      old_size = c.size();
+      for (const Lit l : c) {
+        // Root-false literals are permanently redundant: drop them now.
+        if (value(l) == l_False) continue;
+        lits.push_back(l);
+      }
+    }
+    ++attempts;
+    // Detach so the clause cannot propagate against itself while its own
+    // negated literals are assumed.
+    detach_clause(ref);
+    std::vector<Lit> kept;
+    kept.reserve(lits.size());
+    bool stopped_early = false;
+    new_decision_level();
+    for (std::size_t i = 0; i < lits.size(); ++i) {
+      const Lit l = lits[i];
+      const LBool v = value(l);
+      if (v == l_True) {
+        // ¬(kept prefix) implies l: the clause shortens to kept ∪ {l}.
+        kept.push_back(l);
+        stopped_early = i + 1 < lits.size();
+        break;
+      }
+      if (v == l_False) continue;  // ¬(kept prefix) implies ¬l: l is redundant
+      kept.push_back(l);
+      unchecked_enqueue(~l);
+      if (propagate() != kClauseRefUndef) {
+        // ¬kept is contradictory: the clause shortens to kept.
+        stopped_early = i + 1 < lits.size();
+        break;
+      }
+    }
+    cancel_until(0);
+    if (!stopped_early && kept.size() == old_size) {
+      attach_clause(ref);
+      continue;
+    }
+    stats_.vivified_literals += old_size - kept.size();
+    ++stats_.vivified_clauses;
+    ++shortened;
+    const float activity = arena_.deref(ref).activity();
+    const std::uint32_t lbd = arena_.deref(ref).lbd();
+    arena_.free_clause(ref);  // watches already detached above
+    learnts_[pos] = learnts_.back();
+    learnts_.pop_back();
+    if (kept.empty()) {
+      ok_ = false;  // every literal was root-false
+      break;
+    }
+    if (kept.size() == 1) {
+      if (value(kept[0]) == l_False) {
+        ok_ = false;
+      } else if (value(kept[0]).is_undef()) {
+        unchecked_enqueue(kept[0]);
+        if (propagate() != kClauseRefUndef) ok_ = false;
+      }
+      continue;
+    }
+    // Swap in the shortened clause: realloc + reattach (clause.hpp NOTE).
+    const ClauseRef fresh = arena_.alloc(kept, /*learnt=*/true);
+    Clause& nc = arena_.deref(fresh);
+    nc.set_activity(activity);
+    nc.set_lbd(std::min<std::uint32_t>(
+        lbd, static_cast<std::uint32_t>(kept.size()) - 1));
+    nc.set_used(true);  // shortened clauses survive the next reduction
+    learnts_.push_back(fresh);
+    std::swap(learnts_[pos], learnts_.back());
+    attach_clause(fresh);
+  }
+  collect_garbage_if_needed();
+  return shortened;
+}
+
+// ----- failed-literal probing + binary-implication SCCs ----------------------
+
+void Solver::collapse_binary_sccs() {
+  // Iterative Tarjan over the binary implication graph: node = literal,
+  // edge p → q for every binary clause (¬p ∨ q), i.e. every BinWatcher q in
+  // bin_watches_[p].  The graph is skew-symmetric, so components come in
+  // mirrored pairs and picking the smallest literal index as representative
+  // is negation-consistent; a literal sharing a component with its negation
+  // makes the formula unsatisfiable.
+  const auto n = static_cast<std::size_t>(num_vars()) * 2;
+  constexpr std::uint32_t kUnvisited = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<std::uint32_t> comp(n, kUnvisited);
+  std::vector<char> on_stack(n, 0);
+  std::vector<std::uint32_t> stack;
+  std::uint32_t next_index = 0;
+  std::uint32_t num_comps = 0;
+
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t child;
+  };
+  std::vector<Frame> dfs;
+  const auto skip_node = [&](std::uint32_t li) {
+    return !value(Lit::from_index(static_cast<std::int32_t>(li))).is_undef();
+  };
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited || skip_node(root)) continue;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const std::uint32_t v = f.node;
+      if (f.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      const auto& succs = bin_watches_[v];
+      bool descended = false;
+      while (f.child < succs.size()) {
+        const std::uint32_t w =
+            static_cast<std::uint32_t>(succs[f.child].other.index());
+        ++f.child;
+        if (skip_node(w)) continue;
+        if (index[w] == kUnvisited) {
+          dfs.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        for (;;) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          comp[w] = num_comps;
+          if (w == v) break;
+        }
+        ++num_comps;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().node] =
+            std::min(lowlink[dfs.back().node], lowlink[v]);
+      }
+    }
+  }
+
+  // Representative per component: smallest literal index.  A variable in
+  // the same component as its negation forces l ↔ ¬l — UNSAT.
+  std::vector<std::uint32_t> comp_min(num_comps, kUnvisited);
+  for (std::uint32_t li = 0; li < n; ++li) {
+    if (comp[li] == kUnvisited) continue;
+    comp_min[comp[li]] = std::min(comp_min[comp[li]], li);
+  }
+  bool any_merge = false;
+  for (std::uint32_t li = 0; li < n; li += 2) {
+    if (comp[li] == kUnvisited) continue;
+    if (comp[li] == comp[li ^ 1]) {
+      ok_ = false;
+      return;
+    }
+    if (comp_min[comp[li]] != li) {
+      any_merge = true;
+      ++stats_.scc_merged_vars;
+    }
+  }
+  if (!any_merge) return;
+
+  const auto rep = [&](Lit l) {
+    const auto li = static_cast<std::uint32_t>(l.index());
+    if (comp[li] == kUnvisited) return l;
+    return Lit::from_index(static_cast<std::int32_t>(comp_min[comp[li]]));
+  };
+
+  // Rewrite literals of long problem clauses to their representatives.  The
+  // defining binary clauses are deliberately kept: they propagate the
+  // merged variables, so SAT models (BMC traces) stay complete.
+  const std::vector<ClauseRef> snapshot = clauses_;
+  for (const ClauseRef ref : snapshot) {
+    if (!ok_) return;
+    const Clause& c = arena_.deref(ref);
+    if (c.size() == 2) continue;
+    if (clause_locked(ref) || clause_satisfied(c)) continue;
+    bool changed = false;
+    std::vector<Lit> mapped;
+    mapped.reserve(c.size());
+    for (const Lit l : c) {
+      const Lit r = rep(l);
+      changed = changed || r != l;
+      mapped.push_back(r);
+    }
+    if (!changed) continue;
+    erase_problem_clause(ref);
+    // add_clause sorts, dedups the merged duplicates, and drops the clause
+    // entirely when the rewrite produced a tautology.
+    add_clause(mapped);
+  }
+}
+
+bool Solver::probe_and_collapse(bool collapse_scc, std::size_t max_probes) {
+  if (!ok_) return false;
+  cancel_until(0);
+  prev_assumptions_.clear();
+  if (propagate() != kClauseRefUndef) {
+    ok_ = false;
+    return false;
+  }
+  if (collapse_scc) {
+    collapse_binary_sccs();
+    if (!ok_) return false;
+  }
+
+  // Failed-literal probing, watermarked: each call probes only variables
+  // created since the last call, so incremental consumers (the BMC/k-ind
+  // unrollers) pay per frame, not per bound².  Only literals with binary
+  // successors are probed — they are the ones whose propagation reaches
+  // deep into the implication graph.
+  const Var end = num_vars();
+  std::size_t probes = 0;
+  for (Var v = probe_watermark_; v < end && probes < max_probes && ok_; ++v) {
+    for (int sign = 0; sign < 2 && probes < max_probes; ++sign) {
+      if (!value(v).is_undef()) break;
+      const Lit l = Lit::make(v, sign == 1);
+      if (bin_watches_[l.index()].empty()) continue;
+      ++probes;
+      new_decision_level();
+      unchecked_enqueue(l);
+      const ClauseRef confl = propagate();
+      cancel_until(0);
+      if (confl == kClauseRefUndef) continue;
+      // l leads to a conflict by unit propagation alone: ¬l holds.
+      ++stats_.probe_failed_literals;
+      unchecked_enqueue(~l);
+      if (propagate() != kClauseRefUndef) {
+        ok_ = false;
+        break;
+      }
+    }
+  }
+  probe_watermark_ = end;
+  collect_garbage_if_needed();
+  return ok_;
+}
+
+}  // namespace pilot::sat

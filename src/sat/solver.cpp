@@ -69,9 +69,7 @@ void Solver::set_trail_reuse(bool on) {
   }
 }
 
-bool Solver::add_clause(std::span<const Lit> literals) {
-  if (!ok_) return false;
-  std::vector<Lit> lits(literals.begin(), literals.end());
+Solver::ClauseNorm Solver::normalize_clause(std::vector<Lit>& lits) const {
   std::sort(lits.begin(), lits.end());
   std::size_t j = 0;
   Lit prev = kLitUndef;
@@ -80,16 +78,27 @@ bool Solver::add_clause(std::span<const Lit> literals) {
     // Only root-level (decision level 0) values may simplify the clause:
     // with trail reuse a partial assumption trail can be in place, and its
     // assignments are not permanent.
-    if (root_value_is(l, l_True) || l == ~prev) return true;
+    if (root_value_is(l, l_True) || l == ~prev) return ClauseNorm::kTrivial;
     if (!root_value_is(l, l_False) && l != prev) {
       lits[j++] = l;
       prev = l;
     }
   }
   lits.resize(j);
-  if (lits.empty()) {
-    ok_ = false;
-    return false;
+  return lits.empty() ? ClauseNorm::kEmpty : ClauseNorm::kReady;
+}
+
+bool Solver::add_clause(std::span<const Lit> literals) {
+  if (!ok_) return false;
+  std::vector<Lit> lits(literals.begin(), literals.end());
+  switch (normalize_clause(lits)) {
+    case ClauseNorm::kTrivial:
+      return true;
+    case ClauseNorm::kEmpty:
+      ok_ = false;
+      return false;
+    case ClauseNorm::kReady:
+      break;
   }
   if (lits.size() == 1) {
     // Units live at the root; drop any kept trail first.
@@ -116,6 +125,7 @@ bool Solver::add_clause(std::span<const Lit> literals) {
   const ClauseRef ref = arena_.alloc(lits, /*learnt=*/false);
   clauses_.push_back(ref);
   attach_clause(ref);
+  if (inprocess_) occ_attach(ref);
   return true;
 }
 
@@ -179,6 +189,7 @@ bool Solver::clause_satisfied(const Clause& c) const {
 void Solver::remove_clause(ClauseRef ref) {
   Clause& c = arena_.deref(ref);
   detach_clause(ref);
+  if (inprocess_ && !c.learnt()) occ_detach(ref);
   if (clause_locked(ref)) vardata_[c[0].var()].reason = kClauseRefUndef;
   arena_.free_clause(ref);
 }
@@ -554,6 +565,9 @@ void Solver::relocate_all(ClauseArena& target) {
   }
   for (auto& ref : clauses_) ref = arena_.relocate(ref, target);
   for (auto& ref : learnts_) ref = arena_.relocate(ref, target);
+  for (auto& occ : occs_) {
+    for (auto& ref : occ) ref = arena_.relocate(ref, target);
+  }
 }
 
 SolveResult Solver::search(std::int64_t conflicts_allowed,

@@ -1,0 +1,271 @@
+/// Inprocessing unit + differential tests (sat/inprocess.cpp): forward
+/// subsumption and self-subsuming resolution on clause install, learnt
+/// vivification, failed-literal probing with binary-implication SCC
+/// collapsing — each checked structurally via SolverStats/num_clauses and
+/// semantically against an untouched reference solver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "ic3/engine.hpp"
+#include "sat/solver.hpp"
+#include "ts/transition_system.hpp"
+#include "util/rng.hpp"
+
+namespace pilot::sat {
+namespace {
+
+Lit pos(Var v) { return Lit::make(v); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+/// All 2^n assignments of the first n variables as assumption cubes —
+/// brute-force equivalence oracle for the small unit tests.
+std::vector<std::vector<Lit>> all_assignments(int n) {
+  std::vector<std::vector<Lit>> out;
+  for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+    std::vector<Lit> cube;
+    for (int v = 0; v < n; ++v) {
+      cube.push_back(Lit::make(static_cast<Var>(v), ((bits >> v) & 1u) == 0));
+    }
+    out.push_back(std::move(cube));
+  }
+  return out;
+}
+
+/// Both solvers must agree on every full assignment of the first n vars.
+void expect_equivalent(Solver& a, Solver& b, int n, const char* label) {
+  for (const std::vector<Lit>& cube : all_assignments(n)) {
+    EXPECT_EQ(a.solve(cube), b.solve(cube)) << label;
+  }
+}
+
+TEST(Subsumption, ForwardSubsumptionRetiresWeakerClause) {
+  Solver s;
+  for (int i = 0; i < 3; ++i) s.new_var();
+  s.add_clause({pos(0), pos(1), pos(2)});
+  s.set_inprocess(true);
+  ASSERT_TRUE(s.add_clause_subsuming(std::vector<Lit>{pos(0), pos(1)}));
+  // (0 ∨ 1) subsumes (0 ∨ 1 ∨ 2): the weaker clause is retired in place.
+  EXPECT_EQ(s.num_clauses(), 1u);
+  EXPECT_EQ(s.stats().subsumed_clauses, 1u);
+  Solver ref;
+  for (int i = 0; i < 3; ++i) ref.new_var();
+  ref.add_clause({pos(0), pos(1)});
+  expect_equivalent(s, ref, 3, "forward subsumption");
+}
+
+TEST(Subsumption, SelfSubsumingResolutionStrengthens) {
+  Solver s;
+  for (int i = 0; i < 3; ++i) s.new_var();
+  s.add_clause({pos(0), pos(1), pos(2)});
+  s.set_inprocess(true);
+  // (1 ∨ ¬2) resolves with (0 ∨ 1 ∨ 2) on var 2 to (0 ∨ 1), which
+  // replaces the ternary clause.
+  ASSERT_TRUE(s.add_clause_subsuming(std::vector<Lit>{pos(1), neg(2)}));
+  EXPECT_EQ(s.stats().strengthened_clauses, 1u);
+  EXPECT_EQ(s.num_clauses(), 2u);
+  Solver ref;
+  for (int i = 0; i < 3; ++i) ref.new_var();
+  ref.add_clause({pos(0), pos(1), pos(2)});
+  ref.add_clause({pos(1), neg(2)});
+  expect_equivalent(s, ref, 3, "self-subsuming resolution");
+}
+
+TEST(Subsumption, DisabledFallsBackToPlainAdd) {
+  Solver s;
+  for (int i = 0; i < 3; ++i) s.new_var();
+  s.add_clause({pos(0), pos(1), pos(2)});
+  ASSERT_TRUE(s.add_clause_subsuming(std::vector<Lit>{pos(0), pos(1)}));
+  EXPECT_EQ(s.num_clauses(), 2u);
+  EXPECT_EQ(s.stats().subsumed_clauses, 0u);
+  EXPECT_EQ(s.stats().strengthened_clauses, 0u);
+}
+
+TEST(Probing, FailedLiteralBecomesRootUnit) {
+  Solver s;
+  for (int i = 0; i < 2; ++i) s.new_var();
+  // 0 → 1 and 0 → ¬1: probing literal 0 conflicts, so ¬0 is a root unit.
+  s.add_clause({neg(0), pos(1)});
+  s.add_clause({neg(0), neg(1)});
+  ASSERT_TRUE(s.probe_and_collapse(/*collapse_scc=*/false, 100));
+  EXPECT_GE(s.stats().probe_failed_literals, 1u);
+  EXPECT_EQ(s.solve(std::vector<Lit>{pos(0)}), SolveResult::kUnsat);
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(Probing, SccCollapseMergesEquivalentVariables) {
+  Solver s;
+  for (int i = 0; i < 4; ++i) s.new_var();
+  // 0 ↔ 1 via the binary cycle 0 → 1 → 0, plus a long clause mentioning
+  // var 1 for the rewrite to act on.
+  s.add_clause({neg(0), pos(1)});
+  s.add_clause({neg(1), pos(0)});
+  s.add_clause({pos(1), pos(2), pos(3)});
+  ASSERT_TRUE(s.probe_and_collapse(/*collapse_scc=*/true, 100));
+  EXPECT_GE(s.stats().scc_merged_vars, 1u);
+  // The defining binaries stay, so models remain complete and the
+  // equivalence 0 ↔ 1 is still enforced.
+  EXPECT_EQ(s.solve(std::vector<Lit>{pos(0), neg(1)}), SolveResult::kUnsat);
+  EXPECT_EQ(s.solve(std::vector<Lit>{neg(0), pos(1)}), SolveResult::kUnsat);
+  Solver ref;
+  for (int i = 0; i < 4; ++i) ref.new_var();
+  ref.add_clause({neg(0), pos(1)});
+  ref.add_clause({neg(1), pos(0)});
+  ref.add_clause({pos(1), pos(2), pos(3)});
+  expect_equivalent(s, ref, 4, "SCC collapse");
+}
+
+// ----- randomized differential: inprocessing on vs off ----------------------
+
+Lit random_lit(Rng& rng, int num_vars) {
+  return Lit::make(static_cast<Var>(rng.below(num_vars)), rng.chance(0.5));
+}
+
+/// The model must satisfy every ORIGINAL clause (inprocessing rewrites the
+/// database, but SCC collapse keeps the defining binaries, so models stay
+/// complete over the original formula) and every assumption.
+void expect_model_valid(const Solver& solver,
+                        const std::vector<std::vector<Lit>>& clauses,
+                        const std::vector<Lit>& assumptions,
+                        const char* label) {
+  for (const std::vector<Lit>& clause : clauses) {
+    bool satisfied = false;
+    for (const Lit l : clause) {
+      satisfied = satisfied || solver.model_value(l) == l_True;
+    }
+    ASSERT_TRUE(satisfied) << label << ": model falsifies an original clause";
+  }
+  for (const Lit a : assumptions) {
+    EXPECT_EQ(solver.model_value(a), l_True)
+        << label << ": model violates assumption " << a.to_string();
+  }
+}
+
+/// The final-conflict core must be assumption literals that refute the
+/// ORIGINAL formula (checked with a fresh, untouched solver).
+void expect_core_valid(const Solver& solver, int num_vars,
+                       const std::vector<std::vector<Lit>>& clauses,
+                       const std::vector<Lit>& assumptions,
+                       const char* label) {
+  for (const Lit l : solver.core()) {
+    EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), l),
+              assumptions.end())
+        << label << ": core literal " << l.to_string()
+        << " is not an assumption";
+  }
+  Solver fresh;
+  for (int i = 0; i < num_vars; ++i) fresh.new_var();
+  for (const std::vector<Lit>& clause : clauses) fresh.add_clause(clause);
+  EXPECT_EQ(fresh.solve(solver.core()), SolveResult::kUnsat)
+      << label << ": core does not refute the original formula";
+}
+
+/// Drives an inprocessing solver (subsuming installs + periodic vivification
+/// and probing/SCC rounds) and a plain solver through an identical clause /
+/// solve script.  Every transformation only adds implied clauses or removes
+/// redundant ones, so the verdicts must agree call for call.
+TEST(InprocessDifferential, RandomizedVerdictEquivalence) {
+  constexpr int kVars = 40;
+  constexpr int kSteps = 160;
+  std::uint64_t total_subsumed = 0;
+  std::uint64_t total_vivified = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(0x1A2B0000 + seed);
+    Solver inproc;
+    Solver plain;
+    inproc.set_inprocess(true);
+    std::vector<std::vector<Lit>> original;
+    for (int i = 0; i < kVars; ++i) {
+      inproc.new_var();
+      plain.new_var();
+    }
+    std::uint64_t vivified_returns = 0;
+    for (int step = 0; step < kSteps; ++step) {
+      if (rng.chance(0.6)) {
+        const int len = 2 + static_cast<int>(rng.below(4));
+        std::vector<Lit> clause;
+        for (int i = 0; i < len; ++i) clause.push_back(random_lit(rng, kVars));
+        original.push_back(clause);
+        const bool ok_in = inproc.add_clause_subsuming(clause);
+        const bool ok_pl = plain.add_clause(clause);
+        if (ok_in != ok_pl) {
+          // One solver noticed the root conflict eagerly (probing-derived
+          // units can falsify a new clause at install time); the other must
+          // agree the formula is now unsatisfiable.
+          EXPECT_EQ(inproc.solve(), SolveResult::kUnsat)
+              << "seed " << seed << " step " << step;
+          EXPECT_EQ(plain.solve(), SolveResult::kUnsat)
+              << "seed " << seed << " step " << step;
+          break;
+        }
+        if (!ok_in) break;
+      } else {
+        std::vector<Lit> assumptions;
+        const int n = static_cast<int>(rng.below(6));
+        for (int i = 0; i < n; ++i) {
+          assumptions.push_back(random_lit(rng, kVars));
+        }
+        const SolveResult r_in = inproc.solve(assumptions);
+        ASSERT_EQ(r_in, plain.solve(assumptions))
+            << "seed " << seed << " step " << step;
+        if (r_in == SolveResult::kSat) {
+          expect_model_valid(inproc, original, assumptions, "inprocess");
+          expect_model_valid(plain, original, assumptions, "plain");
+        } else if (r_in == SolveResult::kUnsat && !assumptions.empty()) {
+          expect_core_valid(inproc, kVars, original, assumptions,
+                            "inprocess");
+          expect_core_valid(plain, kVars, original, assumptions, "plain");
+        }
+      }
+      if (step % 40 == 39 && inproc.okay()) {
+        vivified_returns += inproc.vivify_learnts(64);
+        if (!inproc.probe_and_collapse(rng.chance(0.5), 256)) break;
+      }
+    }
+    total_subsumed += inproc.stats().subsumed_clauses +
+                      inproc.stats().strengthened_clauses;
+    total_vivified += vivified_returns;
+    // Counter consistency: vivify_learnts returns the clauses it
+    // shortened, and the stats track exactly that.
+    EXPECT_EQ(inproc.stats().vivified_clauses, vivified_returns);
+  }
+  // The random script must actually exercise the install-time pass —
+  // otherwise the differential proves nothing.
+  EXPECT_GT(total_subsumed, 0u) << "inprocessing never fired";
+  (void)total_vivified;
+}
+
+// Fixture-corpus engine A/B: the full IC3 trajectory (verdict, frame
+// count, lemma count, invariant) must be identical with inprocessing on
+// and off — subsumption/vivification/probing only change the solve plan,
+// never the answers.
+TEST(InprocessDifferential, EngineTrajectoryIdenticalOnFixtureCorpus) {
+  const std::vector<corpus::Case> cases =
+      corpus::resolve_corpus(PILOT_TEST_CORPUS_DIR);
+  ASSERT_FALSE(cases.empty());
+  for (const corpus::Case& c : cases) {
+    const ts::TransitionSystem ts = ts::TransitionSystem::from_aig(c.load());
+    auto run = [&](bool inprocess) {
+      ic3::Config cfg;
+      cfg.sat_inprocess = inprocess;
+      ic3::Engine engine(ts, cfg);
+      return engine.check(Deadline::in_seconds(60));
+    };
+    const ic3::Result on = run(true);
+    const ic3::Result off = run(false);
+    EXPECT_EQ(on.verdict, off.verdict) << c.name;
+    EXPECT_EQ(on.frames, off.frames) << c.name;
+    EXPECT_EQ(on.stats.num_lemmas, off.stats.num_lemmas) << c.name;
+    ASSERT_EQ(on.invariant.has_value(), off.invariant.has_value()) << c.name;
+    if (on.invariant.has_value()) {
+      EXPECT_EQ(on.invariant->lemma_cubes, off.invariant->lemma_cubes)
+          << c.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pilot::sat

@@ -136,6 +136,8 @@ int cmd_run(int argc, const char* const* argv) {
   std::string out_path;
   std::string lift_sim;
   std::string ternary_filter;
+  std::string sat_inprocess;
+  std::int64_t gen_batch = -1;
   bool truncate = false;
   bool verify_witness = true;
   OptionParser parser(
@@ -156,6 +158,13 @@ int cmd_run(int argc, const char* const* argv) {
   parser.add_choice("gen-ternary-filter", &ternary_filter, {"on", "off"},
                     "ternary drop-filter in the MIC core (default on; off "
                     "for A/B)");
+  parser.add_choice("sat-inprocess", &sat_inprocess, {"on", "off"},
+                    "SAT inprocessing: subsumption/vivification (IC3), "
+                    "probing/SCC collapsing (BMC/k-ind); default on, off "
+                    "for A/B");
+  parser.add_int("gen-batch", &gen_batch,
+                 "MIC candidate drops answered per SAT solve (1 = "
+                 "sequential; default 4)");
   parser.add_int("budget-ms", &budget_ms, "per-case wall-clock budget");
   parser.add_int("jobs", &jobs, "worker threads (0 = hardware concurrency)");
   parser.add_int("seed", &seed, "engine seed");
@@ -181,6 +190,14 @@ int cmd_run(int argc, const char* const* argv) {
   if (!ternary_filter.empty()) {
     options.gen_ternary_filter = ternary_filter == "on";
   }
+  if (!sat_inprocess.empty()) options.sat_inprocess = sat_inprocess == "on";
+  if (gen_batch == 0 || gen_batch < -1) {
+    std::fprintf(stderr,
+                 "pilot-bench run: --gen-batch must be >= 1 (1 = "
+                 "sequential)\n");
+    return 3;
+  }
+  if (gen_batch >= 1) options.gen_batch = static_cast<int>(gen_batch);
   options.jobs = static_cast<std::size_t>(jobs);
   options.seed = static_cast<std::uint64_t>(seed);
   options.verify_witness = verify_witness;

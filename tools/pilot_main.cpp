@@ -129,6 +129,8 @@ int main(int argc, char** argv) {
   std::string gen_spec;
   std::string lift_sim;
   std::string ternary_filter;
+  std::string sat_inprocess;
+  std::int64_t gen_batch = -1;
   bool exchange = false;
   std::int64_t budget_ms = 0;
   std::int64_t seed = 0;
@@ -172,6 +174,15 @@ int main(int argc, char** argv) {
                     "ternary drop-filter in the MIC core: skip "
                     "relative-induction solves a cached counterexample "
                     "already defeats (default on; off for A/B)");
+  parser.add_choice("sat-inprocess", &sat_inprocess, {"on", "off"},
+                    "SAT inprocessing: lemma-install subsumption and frame "
+                    "boundary vivification (IC3), failed-literal probing "
+                    "and binary-SCC collapsing (BMC/k-induction); default "
+                    "on, off for A/B");
+  parser.add_int("gen-batch", &gen_batch,
+                 "batched generalization probes: MIC candidate drops "
+                 "answered per SAT solve (1 = sequential, default 4; ctg "
+                 "generalization is never batched)");
   parser.add_flag("exchange", &exchange,
                   "portfolio runs: share validated lemmas between the "
                   "racing IC3 backends (same as the portfolio-x spec)");
@@ -225,6 +236,12 @@ int main(int argc, char** argv) {
     // registered strategies.
     if (!gen_spec.empty()) ic3::validate_gen_spec(gen_spec);
 
+    if (gen_batch == 0 || gen_batch < -1) {
+      std::fprintf(stderr,
+                   "pilot: --gen-batch must be >= 1 (1 = sequential)\n");
+      return 3;
+    }
+
     // --exchange only changes portfolio races; say so instead of silently
     // running a single engine the user believes is sharing lemmas.
     if (exchange && !engine::match_portfolio_spec(engine).has_value()) {
@@ -272,6 +289,8 @@ int main(int argc, char** argv) {
       if (!ternary_filter.empty()) {
         mo.gen_ternary_filter = ternary_filter == "on";
       }
+      if (!sat_inprocess.empty()) mo.sat_inprocess = sat_inprocess == "on";
+      if (gen_batch >= 1) mo.gen_batch = static_cast<int>(gen_batch);
       mo.share_lemmas = exchange;
       mo.seed = static_cast<std::uint64_t>(seed);
       mo.jobs = static_cast<std::size_t>(jobs);
@@ -352,6 +371,8 @@ int main(int argc, char** argv) {
     if (!ternary_filter.empty()) {
       opts.gen_ternary_filter = ternary_filter == "on";
     }
+    if (!sat_inprocess.empty()) opts.sat_inprocess = sat_inprocess == "on";
+    if (gen_batch >= 1) opts.gen_batch = static_cast<int>(gen_batch);
     opts.share_lemmas = exchange;
     opts.budget_ms = budget_ms;
     opts.seed = static_cast<std::uint64_t>(seed);
