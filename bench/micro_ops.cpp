@@ -13,6 +13,7 @@
 #include "circuits/families.hpp"
 #include "ic3/cube.hpp"
 #include "ic3/engine.hpp"
+#include "obs/trace.hpp"
 #include "sat/solver.hpp"
 #include "ts/transition_system.hpp"
 #include "ts/unroller.hpp"
@@ -393,6 +394,39 @@ void BM_BatchedDropProbes(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BatchedDropProbes)->Arg(1)->Arg(4)->Arg(8);
+
+// A stand-in for a zone-instrumented engine step: a few microseconds of
+// register-only work, so the zone cost shows up as a percentage a CI gate
+// can reason about rather than vanishing into noise or dominating.
+std::uint64_t trace_overhead_workload(std::uint64_t x) {
+  for (int i = 0; i < 2048; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+void BM_TraceZoneOverhead(benchmark::State& state) {
+  // Arg 0: baseline, no zone.  Arg 1: zone with tracing runtime-off (one
+  // relaxed load + branch — the cost every user pays, budget < 1%).  Arg 2:
+  // zone recording into the ring (budget < 5%).
+  const int mode = static_cast<int>(state.range(0));
+  obs::reset_trace();
+  obs::set_trace_enabled(mode == 2);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    if (mode == 0) {
+      benchmark::DoNotOptimize(x = trace_overhead_workload(x));
+    } else {
+      PILOT_TRACE_ZONE("bench_zone");
+      benchmark::DoNotOptimize(x = trace_overhead_workload(x));
+    }
+  }
+  obs::set_trace_enabled(false);
+  obs::reset_trace();
+}
+BENCHMARK(BM_TraceZoneOverhead)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 

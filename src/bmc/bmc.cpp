@@ -12,6 +12,16 @@ namespace {
 /// since the last one, so the cap only guards degenerate frames.
 constexpr std::size_t kProbesPerFrame = 4096;
 
+void publish_bound(obs::ProgressSink* sink, int k,
+                   const sat::SolverStats& stats) {
+  if (sink == nullptr) return;
+  obs::ProgressSnapshot s;
+  s.frames = static_cast<std::uint64_t>(k);
+  s.sat_solves = stats.solve_calls;
+  s.sat_conflicts = stats.conflicts;
+  sink->publish(s);
+}
+
 }  // namespace
 
 Trace extract_unrolled_trace(const sat::Solver& solver,
@@ -54,17 +64,25 @@ BmcResult run_bmc(const ts::TransitionSystem& ts, const BmcOptions& options,
       result.sat_stats = solver.stats();
       return result;
     }
-    unroller.extend_to(k);
+    {
+      obs::PhaseScope phase(&result.phases, obs::Phase::kUnroll);
+      unroller.extend_to(k);
+    }
     if (options.inprocess) {
       // Probe only the variables this frame introduced (watermarked).  The
       // binary-implication SCC sweep runs once, the first time a transition
       // step is present; later frames reuse the same encoding shape, so the
       // equivalences it would find are already root-implied by probing.
       // If probing refutes the CNF outright, solve() below reports UNSAT.
+      obs::PhaseScope phase(&result.phases, obs::Phase::kSatInprocess);
       solver.probe_and_collapse(/*collapse_scc=*/k == 1, kProbesPerFrame);
     }
     const std::vector<sat::Lit> assumptions{unroller.bad(k)};
-    const sat::SolveResult res = solver.solve(assumptions, deadline);
+    const sat::SolveResult res = [&] {
+      obs::PhaseScope phase(&result.phases, obs::Phase::kSatSolve);
+      return solver.solve(assumptions, deadline);
+    }();
+    publish_bound(options.progress, k, solver.stats());
     if (res == sat::SolveResult::kUnknown) {
       result.seconds = timer.seconds();
       result.sat_stats = solver.stats();

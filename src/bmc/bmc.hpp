@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "ic3/witness.hpp"
+#include "obs/phase.hpp"
+#include "obs/progress.hpp"
 #include "sat/solver.hpp"
 #include "ts/transition_system.hpp"
 #include "ts/unroller.hpp"
@@ -29,6 +31,8 @@ struct BmcResult {
   std::optional<Trace> trace;
   /// SAT-layer counters of the unrolling solver (campaigns record them).
   sat::SolverStats sat_stats;
+  /// Per-phase wall time (unroll / inprocess / solve).
+  obs::PhaseProfile phases;
 };
 
 struct BmcOptions {
@@ -38,6 +42,9 @@ struct BmcOptions {
   /// binary-implication SCC sweep once the transition relation is present.
   /// Verdict preserving; off for A/B comparison.
   bool inprocess = true;
+  /// Live-progress channel (non-owning; may be null). The bound search
+  /// publishes the current k and SAT counters once per bound.
+  obs::ProgressSink* progress = nullptr;
 };
 
 /// Checks bad reachability for bounds 0..max_bound incrementally.  A

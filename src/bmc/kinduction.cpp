@@ -65,15 +65,29 @@ KindResult run_kinduction(const ts::TransitionSystem& ts,
       return finish(result);
     }
     // Base case: counterexample of length k?
-    base.extend_to(k);
+    {
+      obs::PhaseScope phase(&result.phases, obs::Phase::kUnroll);
+      base.extend_to(k);
+    }
     if (options.inprocess) {
       // One SCC sweep the first time a transition step is present (k == 1
       // for the init-anchored base unrolling); probing is watermarked to
       // the frame's new variables.  See the matching hook in run_bmc.
+      obs::PhaseScope phase(&result.phases, obs::Phase::kSatInprocess);
       base_solver.probe_and_collapse(/*collapse_scc=*/k == 1,
                                      kProbesPerFrame);
     }
+    if (options.progress != nullptr) {
+      obs::ProgressSnapshot s;
+      s.frames = static_cast<std::uint64_t>(k);
+      sat::SolverStats combined = base_solver.stats();
+      combined += step_solver.stats();
+      s.sat_solves = combined.solve_calls;
+      s.sat_conflicts = combined.conflicts;
+      options.progress->publish(s);
+    }
     {
+      obs::PhaseScope phase(&result.phases, obs::Phase::kSatSolve);
       const std::vector<sat::Lit> assumptions{base.bad(k)};
       const sat::SolveResult res = base_solver.solve(assumptions, deadline);
       if (res == sat::SolveResult::kUnknown) break;
@@ -85,21 +99,26 @@ KindResult run_kinduction(const ts::TransitionSystem& ts,
       }
     }
     // Step case: ¬bad at frames 0..k, bad at frame k+1, all states distinct.
-    step.extend_to(k + 1);
-    step_solver.add_unit(~step.bad(k));  // frames 0..k stay good (cumulative)
-    if (options.simple_path) {
-      for (int prev = 0; prev < k + 1; ++prev) {
-        add_state_disequality(step_solver, step, ts, prev, k + 1);
+    {
+      obs::PhaseScope phase(&result.phases, obs::Phase::kUnroll);
+      step.extend_to(k + 1);
+      step_solver.add_unit(~step.bad(k));  // frames 0..k stay good
+      if (options.simple_path) {
+        for (int prev = 0; prev < k + 1; ++prev) {
+          add_state_disequality(step_solver, step, ts, prev, k + 1);
+        }
       }
     }
     if (options.inprocess) {
       // The step unrolling has a transition at k == 0 already (frames 0→1);
       // its SCC sweep therefore runs on the first bound.  Probing also
       // covers the freshly added simple-path difference variables.
+      obs::PhaseScope phase(&result.phases, obs::Phase::kSatInprocess);
       step_solver.probe_and_collapse(/*collapse_scc=*/k == 0,
                                      kProbesPerFrame);
     }
     {
+      obs::PhaseScope phase(&result.phases, obs::Phase::kSatSolve);
       const std::vector<sat::Lit> assumptions{step.bad(k + 1)};
       const sat::SolveResult res = step_solver.solve(assumptions, deadline);
       if (res == sat::SolveResult::kUnknown) break;

@@ -11,6 +11,8 @@
 #include <optional>
 
 #include "ic3/witness.hpp"
+#include "obs/phase.hpp"
+#include "obs/progress.hpp"
 #include "sat/solver.hpp"
 #include "ts/transition_system.hpp"
 #include "util/cancel.hpp"
@@ -27,6 +29,8 @@ struct KindResult {
   std::optional<ic3::Trace> trace;  // when UNSAFE (base-case model)
   /// Combined base + step solver counters (campaigns record them).
   sat::SolverStats sat_stats;
+  /// Per-phase wall time (unroll / inprocess / solve).
+  obs::PhaseProfile phases;
 };
 
 struct KindOptions {
@@ -36,6 +40,9 @@ struct KindOptions {
   /// Failed-literal probing of newly unrolled frames in the base and step
   /// solvers (see BmcOptions::inprocess).  Verdict preserving.
   bool inprocess = true;
+  /// Live-progress channel (non-owning; may be null). Publishes the current
+  /// k and combined SAT counters once per bound.
+  obs::ProgressSink* progress = nullptr;
 };
 
 /// A non-null `cancel` aborts the search cooperatively (verdict stays

@@ -1,10 +1,12 @@
 #include "check/checker.hpp"
 
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "engine/backend.hpp"
+#include "obs/progress.hpp"
 
 namespace pilot::check {
 
@@ -76,12 +78,27 @@ CheckResult certify(const ts::TransitionSystem& ts, engine::EngineResult r,
                                : Deadline{};
 }
 
+/// The `--progress` heartbeat for one check call, when requested.  The
+/// monitor thread starts immediately; engines register their channels
+/// lazily (add_channel is safe while the monitor runs) and the destructor
+/// joins the thread before the check returns.
+[[nodiscard]] std::unique_ptr<obs::ProgressMonitor> monitor_for(
+    const CheckOptions& options) {
+  if (options.progress_interval <= 0.0) return nullptr;
+  auto monitor = std::make_unique<obs::ProgressMonitor>(
+      options.progress_interval);
+  monitor->start();
+  return monitor;
+}
+
 /// `backends` empty = race the default mix.
 CheckResult run_portfolio_backends(const ts::TransitionSystem& ts,
                                    std::vector<std::string> backends,
                                    const CheckOptions& options,
                                    bool share_lemmas) {
+  const std::unique_ptr<obs::ProgressMonitor> monitor = monitor_for(options);
   engine::PortfolioOptions po;
+  po.progress = monitor.get();
   po.backends = std::move(backends);
   po.seed = options.seed;
   po.gen_spec = options.gen_spec;
@@ -118,7 +135,9 @@ CheckResult check_ts(const ts::TransitionSystem& ts,
                                   ps->exchange || options.share_lemmas);
   }
 
+  const std::unique_ptr<obs::ProgressMonitor> monitor = monitor_for(options);
   engine::BackendContext ctx;
+  if (monitor != nullptr) ctx.progress = monitor->add_channel(spec);
   ctx.seed = options.seed;
   ctx.ic3_overrides = options.ic3_overrides;
   ctx.gen_spec = options.gen_spec;

@@ -85,6 +85,10 @@ struct CheckOptions {
   /// External abort (nullable): the engine observes the token at its next
   /// deadline poll and returns kUnknown.  Must outlive the check call.
   const CancelToken* cancel = nullptr;
+  /// Live-progress heartbeat period in seconds ("--progress[=secs]");
+  /// <= 0 disables it.  Each backend gets its own named channel, so a
+  /// portfolio run prints one line per racer per tick.
+  double progress_interval = 0.0;
   /// Extra IC3 knobs forwarded verbatim (ablations).  Single-engine specs
   /// only: portfolio races keep each backend's own configuration (use
   /// engine::PortfolioOptions directly to override a whole race).

@@ -12,8 +12,6 @@
 
 namespace pilot::corpus {
 
-namespace {
-
 json::Value stats_to_json(const ic3::Ic3Stats& s) {
   json::Object o;
   o["generalizations"] = s.num_generalizations;
@@ -85,6 +83,25 @@ json::Value stats_to_json(const ic3::Ic3Stats& s) {
   o["batched_drop_solves"] = s.num_batched_drop_solves;
   o["batched_drop_answers"] = s.num_batched_drop_answers;
   o["rebuild_subsumed"] = s.num_rebuild_subsumed;
+  // Timing + per-phase profile (PR 8): coarse time_* fields plus one
+  // {"seconds", "calls"} object per phase that actually ran, keyed by the
+  // obs::phase_name string so rows stay readable and diffable.
+  o["time_total"] = s.time_total;
+  o["time_generalize"] = s.time_generalize;
+  o["time_predict"] = s.time_predict;
+  o["time_propagate"] = s.time_propagate;
+  if (!s.phases.empty()) {
+    json::Object phases;
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      const auto p = static_cast<obs::Phase>(i);
+      if (s.phases.calls_of(p) == 0) continue;
+      json::Object entry;
+      entry["seconds"] = s.phases.seconds_of(p);
+      entry["calls"] = s.phases.calls_of(p);
+      phases[obs::phase_name(p)] = json::Value(std::move(entry));
+    }
+    o["phases"] = json::Value(std::move(phases));
+  }
   return json::Value(std::move(o));
 }
 
@@ -146,10 +163,23 @@ ic3::Ic3Stats stats_from_json(const json::Value& v) {
   s.num_batched_drop_solves = v.at("batched_drop_solves").as_uint();
   s.num_batched_drop_answers = v.at("batched_drop_answers").as_uint();
   s.num_rebuild_subsumed = v.at("rebuild_subsumed").as_uint();
+  // Timing + phases (PR 8): absent in older rows — the same null/0
+  // fallback applies, and phase names a future build no longer knows are
+  // skipped rather than rejected.
+  s.time_total = v.at("time_total").as_double();
+  s.time_generalize = v.at("time_generalize").as_double();
+  s.time_predict = v.at("time_predict").as_double();
+  s.time_propagate = v.at("time_propagate").as_double();
+  if (v.at("phases").is_object()) {
+    for (const auto& [name, entry] : v.at("phases").as_object()) {
+      const std::optional<obs::Phase> p = obs::phase_from_name(name);
+      if (!p.has_value()) continue;
+      s.phases.add(*p, entry.at("seconds").as_double(),
+                   entry.at("calls").as_uint());
+    }
+  }
   return s;
 }
-
-}  // namespace
 
 json::Value to_json(const RunRow& row) {
   const check::RunRecord& r = row.record;

@@ -62,6 +62,16 @@ struct RunRow {
 /// Throws std::runtime_error on rows missing "case" or "engine".
 [[nodiscard]] RunRow row_from_json(const json::Value& value);
 
+/// The engine-statistics object embedded in every row's "stats" field —
+/// public so `pilot --stats-json` can emit the identical shape for a single
+/// run.  Includes per-phase wall time ("phases": name → {seconds, calls},
+/// nonzero phases only) and the coarse time_* fields.  stats_from_json is
+/// tolerant: fields absent in rows written by older builds load as 0/empty,
+/// and unknown phase names are skipped, so existing baselines never need
+/// regeneration.
+[[nodiscard]] json::Value stats_to_json(const ic3::Ic3Stats& stats);
+[[nodiscard]] ic3::Ic3Stats stats_from_json(const json::Value& value);
+
 [[nodiscard]] std::string now_utc_iso8601();
 /// PILOT_COMMIT or GITHUB_SHA from the environment, else "".
 [[nodiscard]] std::string campaign_commit();

@@ -36,6 +36,7 @@ class Ic3Backend final : public Backend {
     if (ctx.sat_inprocess.has_value()) cfg_.sat_inprocess = *ctx.sat_inprocess;
     if (ctx.gen_batch.has_value()) cfg_.gen_batch = *ctx.gen_batch;
     cfg_.lemma_bus = ctx.lemma_bus;
+    cfg_.progress = ctx.progress;
   }
 
   [[nodiscard]] const std::string& name() const override { return name_; }
@@ -68,6 +69,7 @@ class BmcBackend final : public Backend {
       : ts_(ts) {
     options_.seed = ctx.seed;
     if (ctx.sat_inprocess.has_value()) options_.inprocess = *ctx.sat_inprocess;
+    options_.progress = ctx.progress;
   }
 
   [[nodiscard]] const std::string& name() const override {
@@ -81,6 +83,8 @@ class BmcBackend final : public Backend {
     EngineResult out;
     out.seconds = r.seconds;
     out.stats.absorb_sat(r.sat_stats);
+    out.stats.phases = r.phases;
+    out.stats.time_total = r.seconds;
     // kBoundReached is BMC completing on its own; kUnknown is an abort.
     out.interrupted = r.verdict == bmc::BmcVerdict::kUnknown;
     if (r.verdict == bmc::BmcVerdict::kUnsafe) {
@@ -102,6 +106,7 @@ class KinductionBackend final : public Backend {
       : ts_(ts) {
     options_.seed = ctx.seed;
     if (ctx.sat_inprocess.has_value()) options_.inprocess = *ctx.sat_inprocess;
+    options_.progress = ctx.progress;
   }
 
   [[nodiscard]] const std::string& name() const override {
@@ -115,6 +120,8 @@ class KinductionBackend final : public Backend {
     EngineResult out;
     out.seconds = r.seconds;
     out.stats.absorb_sat(r.sat_stats);
+    out.stats.phases = r.phases;
+    out.stats.time_total = r.seconds;
     out.interrupted = r.verdict == bmc::KindVerdict::kUnknown;
     if (r.k >= 0) out.frames = static_cast<std::size_t>(r.k);
     if (r.verdict == bmc::KindVerdict::kSafe) out.verdict = ic3::Verdict::kSafe;

@@ -81,6 +81,10 @@ struct BackendContext {
   /// be null; engine/lemma_exchange.hpp).  IC3-family backends publish
   /// installed lemmas and import validated peer lemmas through it.
   ic3::LemmaBus* lemma_bus = nullptr;
+  /// Live-progress channel for this backend (non-owning, may be null;
+  /// obs/progress.hpp).  Engines publish frame/lemma/SAT counters into it
+  /// for the `--progress` heartbeat.
+  obs::ProgressSink* progress = nullptr;
 };
 
 class Backend {

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace pilot::engine {
@@ -95,6 +96,9 @@ PortfolioResult run_portfolio(const ts::TransitionSystem& ts,
       buses.push_back(std::make_unique<PeerBus>(*hub, hub->add_peer()));
       ctx.lemma_bus = buses.back().get();
     }
+    if (options.progress != nullptr) {
+      ctx.progress = options.progress->add_channel(name);
+    }
     backends.push_back(make_backend(name, ts, ctx));
   }
 
@@ -122,7 +126,15 @@ PortfolioResult run_portfolio(const ts::TransitionSystem& ts,
     std::vector<std::thread> threads;
     threads.reserve(backends.size());
     for (std::size_t i = 0; i < backends.size(); ++i) {
-      threads.emplace_back(worker, i);
+      threads.emplace_back([&, i] {
+        // Tag this worker so its log lines and trace track carry the
+        // backend name (interleaved stderr stays attributable). The trace
+        // stream is only registered when tracing is on — the ring is a
+        // few MB per thread.
+        logcfg::set_thread_tag(names[i]);
+        if (obs::trace_enabled()) obs::name_current_thread(names[i]);
+        worker(i);
+      });
     }
     for (std::thread& t : threads) t.join();
   }

@@ -27,6 +27,7 @@
 
 #include "engine/backend.hpp"
 #include "engine/lemma_exchange.hpp"
+#include "obs/progress.hpp"
 #include "ts/transition_system.hpp"
 #include "util/cancel.hpp"
 #include "util/timer.hpp"
@@ -55,6 +56,10 @@ struct PortfolioOptions {
   /// LemmaExchange hub; every import is re-validated by the importer, so
   /// verdicts stay sound and deterministic.
   bool share_lemmas = false;
+  /// Live-progress monitor (non-owning, may be null): each backend gets its
+  /// own named channel so the heartbeat shows a line per racer — a wedged
+  /// backend is visible as a flat 0 q/s line while it is wedged.
+  obs::ProgressMonitor* progress = nullptr;
 };
 
 /// Per-backend outcome of one race, in spec order.

@@ -10,6 +10,10 @@
 #include <cstdint>
 #include <string>
 
+namespace pilot::obs {
+class ProgressSink;  // obs/progress.hpp — live heartbeat channel
+}
+
 namespace pilot::ic3 {
 
 class LemmaBus;  // ic3/lemma_bus.hpp — portfolio lemma-exchange endpoint
@@ -52,6 +56,12 @@ struct Config {
   /// lemmas at propagation boundaries, validating each import with one
   /// relative-induction query.  Null = standalone run, no sharing.
   LemmaBus* lemma_bus = nullptr;
+
+  /// Live-progress channel (non-owning; obs/progress.hpp): when set, the
+  /// engine publishes frames/obligations/lemmas/SAT counters after every
+  /// blocked obligation and at propagation boundaries, where the
+  /// `--progress` heartbeat thread reads them. Null = no reporting.
+  obs::ProgressSink* progress = nullptr;
 
   /// When a predicted candidate is proven, additionally shrink it with the
   /// returned unsat core (sound strengthening the paper does not do;

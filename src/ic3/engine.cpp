@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/phase.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace pilot::ic3 {
@@ -29,6 +32,7 @@ void Engine::add_lemma(const Cube& cube, std::size_t level) {
 
 void Engine::import_shared_lemmas(const Deadline& deadline) {
   if (cfg_.lemma_bus == nullptr) return;
+  obs::PhaseScope phase(&stats_.phases, obs::Phase::kExchange);
   for (SharedLemma& shared : cfg_.lemma_bus->poll()) {
     if (cancel_ != nullptr && cancel_->stop_requested()) throw TimeoutError{};
     // Clamp to our own frame sequence: the publisher may be further along.
@@ -88,20 +92,23 @@ Result Engine::check(Deadline deadline, const CancelToken* cancel) {
         if (cancel_ != nullptr && cancel_->stop_requested()) throw TimeoutError{};
         // ---- blocking phase: make R_k exclude the bad cone ----
         bool unsafe = false;
-        while (solvers_.solve_bad(k, deadline)) {
-          const Cube state_full = solvers_.model_state(/*primed=*/false);
-          const std::vector<Lit> inputs = solvers_.model_inputs();
-          const Cube state = lifter_.lift_bad(state_full, inputs, deadline);
-          pool_.clear();
-          queue_.clear();
-          cex_leaf_ = -1;
-          pool_.push_back(Obligation{state, k, 0, -1, inputs});
-          ++stats_.num_obligations;
-          if (!block(0, deadline)) {
-            result.verdict = Verdict::kUnsafe;
-            result.trace = build_trace(cex_leaf_);
-            unsafe = true;
-            break;
+        {
+          obs::PhaseScope block_phase(&stats_.phases, obs::Phase::kBlock);
+          while (solvers_.solve_bad(k, deadline)) {
+            const Cube state_full = solvers_.model_state(/*primed=*/false);
+            const std::vector<Lit> inputs = solvers_.model_inputs();
+            const Cube state = lifter_.lift_bad(state_full, inputs, deadline);
+            pool_.clear();
+            queue_.clear();
+            cex_leaf_ = -1;
+            pool_.push_back(Obligation{state, k, 0, -1, inputs});
+            ++stats_.num_obligations;
+            if (!block(0, deadline)) {
+              result.verdict = Verdict::kUnsafe;
+              result.trace = build_trace(cex_leaf_);
+              unsafe = true;
+              break;
+            }
           }
         }
         if (unsafe) break;
@@ -113,6 +120,12 @@ Result Engine::check(Deadline deadline, const CancelToken* cancel) {
         stats_.max_frame = std::max(stats_.max_frame, k);
         solvers_.maybe_rebuild(frames_);
         import_shared_lemmas(deadline);
+        // Frame boundary: refresh the sat_* mirrors so mid-run traces and
+        // the heartbeat see live solver counters, not epilogue-only zeros.
+        stats_.absorb_sat(solvers_.sat_stats());
+        PILOT_TRACE_COUNTER("lemmas", frames_.total_lemmas());
+        PILOT_TRACE_COUNTER("sat_conflicts", stats_.sat_conflicts);
+        publish_progress();
         if (propagate(deadline)) {
           result.verdict = Verdict::kSafe;
           // Fixpoint level: first i with empty delta (propagate found it).
@@ -156,6 +169,7 @@ bool Engine::block(int root_index, const Deadline& deadline) {
     const auto it = queue_.begin();
     const int idx = std::get<2>(*it);
     queue_.erase(it);
+    publish_progress();
     Obligation& ob = pool_[idx];
 
     // Already blocked by an existing lemma?
@@ -224,7 +238,21 @@ bool Engine::block(int root_index, const Deadline& deadline) {
   return true;
 }
 
+void Engine::publish_progress() {
+  if (cfg_.progress == nullptr) return;
+  stats_.absorb_sat(solvers_.sat_stats());
+  obs::ProgressSnapshot s;
+  s.frames = stats_.max_frame;
+  s.obligations = stats_.num_obligations;
+  s.lemmas = stats_.num_lemmas;
+  s.ctis = stats_.num_ctis;
+  s.sat_solves = stats_.sat_solve_calls;
+  s.sat_conflicts = stats_.sat_conflicts;
+  cfg_.progress->publish(s);
+}
+
 bool Engine::propagate(const Deadline& deadline) {
+  obs::PhaseScope phase(&stats_.phases, obs::Phase::kPropagate);
   Timer t;
   // Propagation boundary: strategies clear their failure tables (paper
   // line 44) and the dynamic meta-strategy evaluates its switching policy.

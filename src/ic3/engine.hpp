@@ -88,6 +88,9 @@ class Engine {
   /// survives one relative-induction validation query; called at each
   /// propagation boundary.
   void import_shared_lemmas(const Deadline& deadline);
+  /// Refreshes the live SAT counters (absorb_sat is idempotent) and, when
+  /// Config::progress is set, publishes a snapshot to the heartbeat sink.
+  void publish_progress();
   Trace build_trace(int leaf_index) const;
   InductiveInvariant collect_invariant(std::size_t fixpoint_level) const;
 

@@ -10,6 +10,7 @@
 
 #include "ic3/drop_filter.hpp"
 #include "ic3/gen_dynamic.hpp"
+#include "obs/phase.hpp"
 #include "ic3/predictor.hpp"
 
 namespace pilot::ic3 {
@@ -281,8 +282,10 @@ class PredictStrategy final : public GenStrategy {
                   const Deadline& deadline,
                   const AddLemmaFn& add_lemma) override {
     Timer t;
-    const std::optional<Cube> predicted =
-        predictor_.predict(cube, level, deadline);
+    const std::optional<Cube> predicted = [&] {
+      obs::PhaseScope phase(&ctx_.stats.phases, obs::Phase::kPredict);
+      return predictor_.predict(cube, level, deadline);
+    }();
     ctx_.stats.time_predict += t.seconds();
     if (predicted.has_value()) return *predicted;
     return fallback_.generalize(cube, core, level, deadline, add_lemma);

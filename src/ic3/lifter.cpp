@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ic3/solver_manager.hpp"  // TimeoutError
+#include "obs/phase.hpp"
 
 namespace pilot::ic3 {
 
@@ -232,6 +233,7 @@ Cube Lifter::lift_predecessor(const Cube& pred_full,
                               const std::vector<Lit>& inputs,
                               const Cube& successor,
                               const Deadline& deadline) {
+  obs::PhaseScope phase(&stats_.phases, obs::Phase::kLift);
   switch (cfg_.lift_mode) {
     case Config::LiftMode::kNone:
       return pred_full;
@@ -264,6 +266,7 @@ Cube Lifter::lift_predecessor(const Cube& pred_full,
 
 Cube Lifter::lift_bad(const Cube& state_full, const std::vector<Lit>& inputs,
                       const Deadline& deadline) {
+  obs::PhaseScope phase(&stats_.phases, obs::Phase::kLift);
   switch (cfg_.lift_mode) {
     case Config::LiftMode::kNone:
       return state_full;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/phase.hpp"
 #include "util/log.hpp"
 
 namespace pilot::ic3 {
@@ -49,6 +50,7 @@ void SolverManager::add_lemma_clause(const Cube& cube, std::size_t level) {
   // scopes it naturally: only same-level lemma clauses share the guard, so
   // only they can be retired or strengthened by the new install.
   if (cfg_.sat_inprocess) {
+    obs::PhaseScope phase(&stats_.phases, obs::Phase::kSatInprocess);
     solver_->add_clause_subsuming(clause);
   } else {
     solver_->add_clause(clause);
@@ -86,6 +88,7 @@ std::vector<Lit> SolverManager::frame_assumptions(std::size_t level) const {
 }
 
 bool SolverManager::solve_bad(std::size_t level, const Deadline& deadline) {
+  obs::PhaseScope phase(&stats_.phases, obs::Phase::kSatSolve);
   ensure_level(level);
   std::vector<Lit> assumptions = frame_assumptions(level);
   assumptions.push_back(ts_.bad());
@@ -98,6 +101,7 @@ bool SolverManager::relative_inductive(const Cube& c, std::size_t level,
                                        bool cube_clause_in_frame,
                                        Cube* core_out,
                                        const Deadline& deadline) {
+  obs::PhaseScope phase(&stats_.phases, obs::Phase::kSatSolve);
   ensure_level(level);
   std::vector<Lit> assumptions = frame_assumptions(level);
 
@@ -179,6 +183,7 @@ bool SolverManager::batch_drop_probe(const Cube& cube,
                                      std::size_t level, const Frames& frames,
                                      BatchProbeResult* out,
                                      const Deadline& deadline) {
+  obs::PhaseScope phase(&stats_.phases, obs::Phase::kSatSolve);
   if (!batch_solver_ || batch_retired_tmp_ >= cfg_.rebuild_tmp_threshold ||
       group.size() > batch_copies_) {
     build_batch_solver(frames);
@@ -429,6 +434,7 @@ std::vector<std::vector<Cube>> reduce_lemma_buckets(
 }
 
 void SolverManager::rebuild(const Frames& frames) {
+  obs::PhaseScope phase(&stats_.phases, obs::Phase::kRebuild);
   const std::size_t levels = act_vars_.size();
   const std::unique_ptr<sat::Solver> old = std::move(solver_);
   const std::vector<Var> old_acts = std::move(act_vars_);
@@ -475,6 +481,7 @@ void SolverManager::maybe_rebuild(const Frames& frames) {
   } else if (cfg_.sat_inprocess) {
     // Between rebuilds, spend the frame boundary vivifying the newest long
     // learnts — the trail is about to go cold here regardless.
+    obs::PhaseScope phase(&stats_.phases, obs::Phase::kSatVivify);
     solver_->vivify_learnts(kVivifyPerBoundary);
   }
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/phase.hpp"
 #include "sat/solver.hpp"
 
 namespace pilot::ic3 {
@@ -162,7 +163,9 @@ struct Ic3Stats {
   std::uint64_t sat_scc_merged_vars = 0;
 
   /// Copies the SAT-layer aggregate into the mirror counters above.
-  /// Idempotent — the engine calls it once per check() epilogue.
+  /// Idempotent (each field is assigned, not accumulated), so the engine
+  /// calls it at every progress/trace boundary as well as the check()
+  /// epilogue — live heartbeats and mid-run traces see real SAT counters.
   void absorb_sat(const sat::SolverStats& s) {
     sat_solve_calls = s.solve_calls;
     sat_propagations = s.propagations;
@@ -185,6 +188,10 @@ struct Ic3Stats {
   double time_generalize = 0.0;
   double time_predict = 0.0;
   double time_propagate = 0.0;
+
+  /// Per-phase wall-time breakdown (obs::PhaseScope accumulates into this);
+  /// rendered by `pilot --stats` and persisted into ResultsDb rows.
+  obs::PhaseProfile phases;
 
   std::size_t max_frame = 0;
 

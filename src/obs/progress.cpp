@@ -1,0 +1,86 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace pilot::obs {
+
+std::string format_progress_line(const std::string& channel,
+                                 double elapsed_seconds,
+                                 const ProgressSnapshot& now,
+                                 const ProgressSnapshot& prev,
+                                 double interval_seconds) {
+  const std::uint64_t solve_delta =
+      now.sat_solves >= prev.sat_solves ? now.sat_solves - prev.sat_solves : 0;
+  const double qps =
+      interval_seconds > 0.0 ? static_cast<double>(solve_delta) / interval_seconds
+                             : 0.0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "[pilot:progress %.1fs] %s: frame=%llu obligations=%llu "
+                "lemmas=%llu ctis=%llu sat=%llu conflicts=%llu (%.0f q/s)",
+                elapsed_seconds, channel.c_str(),
+                static_cast<unsigned long long>(now.frames),
+                static_cast<unsigned long long>(now.obligations),
+                static_cast<unsigned long long>(now.lemmas),
+                static_cast<unsigned long long>(now.ctis),
+                static_cast<unsigned long long>(now.sat_solves),
+                static_cast<unsigned long long>(now.sat_conflicts), qps);
+  return buf;
+}
+
+ProgressMonitor::ProgressMonitor(double interval_seconds)
+    : interval_(interval_seconds > 0.0 ? interval_seconds : 2.0) {}
+
+ProgressMonitor::~ProgressMonitor() { stop(); }
+
+ProgressSink* ProgressMonitor::add_channel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.push_back(std::make_unique<ProgressSink>(name));
+  last_.emplace_back();
+  return sinks_.back().get();
+}
+
+void ProgressMonitor::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void ProgressMonitor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+void ProgressMonitor::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::duration<double>(interval_));
+  for (;;) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      return;
+    }
+    const double elapsed = timer_.seconds();
+    for (std::size_t i = 0; i < sinks_.size(); ++i) {
+      const ProgressSnapshot now = sinks_[i]->read();
+      std::fprintf(stderr, "%s\n",
+                   format_progress_line(sinks_[i]->name(), elapsed, now,
+                                        last_[i], interval_)
+                       .c_str());
+      last_[i] = now;
+    }
+    std::fflush(stderr);
+  }
+}
+
+}  // namespace pilot::obs

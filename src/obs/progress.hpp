@@ -1,0 +1,108 @@
+#pragma once
+
+/// Live progress heartbeat (`pilot --progress[=secs]`).
+///
+/// Each engine publishes a ProgressSnapshot (relaxed atomic stores) into its
+/// own named ProgressSink; a single ProgressMonitor thread wakes every
+/// interval, reads every sink, and prints one line per channel with the
+/// per-tick query-rate delta. Every registered channel is printed every tick
+/// — a wedged portfolio backend shows up as a flat line with 0 q/s, which is
+/// exactly when you want to see it.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace pilot::obs {
+
+struct ProgressSnapshot {
+  std::uint64_t frames = 0;
+  std::uint64_t obligations = 0;
+  std::uint64_t lemmas = 0;
+  std::uint64_t ctis = 0;
+  std::uint64_t sat_solves = 0;
+  std::uint64_t sat_conflicts = 0;
+};
+
+/// One engine's progress channel. publish() is wait-free (relaxed stores of
+/// independent counters — a torn multi-field read only mixes two adjacent
+/// heartbeats, which is fine for a progress line).
+class ProgressSink {
+ public:
+  explicit ProgressSink(std::string name) : name_(std::move(name)) {}
+
+  void publish(const ProgressSnapshot& s) {
+    frames_.store(s.frames, std::memory_order_relaxed);
+    obligations_.store(s.obligations, std::memory_order_relaxed);
+    lemmas_.store(s.lemmas, std::memory_order_relaxed);
+    ctis_.store(s.ctis, std::memory_order_relaxed);
+    sat_solves_.store(s.sat_solves, std::memory_order_relaxed);
+    sat_conflicts_.store(s.sat_conflicts, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] ProgressSnapshot read() const {
+    ProgressSnapshot s;
+    s.frames = frames_.load(std::memory_order_relaxed);
+    s.obligations = obligations_.load(std::memory_order_relaxed);
+    s.lemmas = lemmas_.load(std::memory_order_relaxed);
+    s.ctis = ctis_.load(std::memory_order_relaxed);
+    s.sat_solves = sat_solves_.load(std::memory_order_relaxed);
+    s.sat_conflicts = sat_conflicts_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> obligations_{0};
+  std::atomic<std::uint64_t> lemmas_{0};
+  std::atomic<std::uint64_t> ctis_{0};
+  std::atomic<std::uint64_t> sat_solves_{0};
+  std::atomic<std::uint64_t> sat_conflicts_{0};
+};
+
+/// Renders one heartbeat line; exposed for tests.
+[[nodiscard]] std::string format_progress_line(const std::string& channel,
+                                               double elapsed_seconds,
+                                               const ProgressSnapshot& now,
+                                               const ProgressSnapshot& prev,
+                                               double interval_seconds);
+
+class ProgressMonitor {
+ public:
+  explicit ProgressMonitor(double interval_seconds);
+  ~ProgressMonitor();
+  ProgressMonitor(const ProgressMonitor&) = delete;
+  ProgressMonitor& operator=(const ProgressMonitor&) = delete;
+
+  /// Registers a channel; safe to call while the monitor runs (engines
+  /// register lazily). The sink stays valid for the monitor's lifetime.
+  ProgressSink* add_channel(const std::string& name);
+
+  void start();
+  void stop();  // idempotent; joins the heartbeat thread
+
+ private:
+  void run();
+
+  double interval_;
+  Timer timer_;
+  std::mutex mutex_;  // guards sinks_/last_ and the stop flag
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::vector<std::unique_ptr<ProgressSink>> sinks_;
+  std::vector<ProgressSnapshot> last_;
+  std::thread thread_;
+};
+
+}  // namespace pilot::obs

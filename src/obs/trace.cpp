@@ -1,0 +1,300 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/json.hpp"
+
+namespace pilot::obs {
+namespace {
+
+constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 16;  // ~2.5 MB
+
+/// One thread's ring. Single writer (the owning thread); readers only look
+/// after the writer has quiesced (export runs post-join, snapshot after the
+/// emitting code returned). `head` counts every event ever written — the
+/// live window is the last `min(head, capacity)` slots, so the exact number
+/// of overwritten ("dropped") events is `head - min(head, capacity)`.
+struct ThreadStream {
+  explicit ThreadStream(std::size_t capacity) : slots(capacity) {}
+
+  std::string thread_name;
+  std::uint64_t track_id = 0;
+  std::vector<TraceEvent> slots;
+  std::atomic<std::uint64_t> head{0};
+
+  void write(const TraceEvent& ev) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    slots[h % slots.size()] = ev;
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+class Collector {
+ public:
+  static Collector& instance() {
+    static Collector c;
+    return c;
+  }
+
+  std::atomic<bool> enabled{false};
+
+  std::uint32_t intern(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = name_ids_.find(name);
+    if (it != name_ids_.end()) return it->second;
+    names_.push_back(name);
+    const auto id = static_cast<std::uint32_t>(names_.size());  // ids from 1
+    name_ids_.emplace(name, id);
+    return id;
+  }
+
+  /// Returns the calling thread's stream for the current epoch, registering
+  /// a fresh ring on first use (or after a reset).
+  ThreadStream* current_stream() {
+    thread_local ThreadStream* stream = nullptr;
+    thread_local std::uint64_t stream_epoch = 0;
+    const std::uint64_t now_epoch = epoch_.load(std::memory_order_acquire);
+    if (stream == nullptr || stream_epoch != now_epoch) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto owned = std::make_unique<ThreadStream>(ring_capacity_);
+      owned->track_id = next_track_id_++;
+      owned->thread_name = "thread-" + std::to_string(owned->track_id);
+      stream = owned.get();
+      stream_epoch = epoch_.load(std::memory_order_relaxed);
+      streams_.push_back(std::move(owned));
+    }
+    return stream;
+  }
+
+  void name_thread(const std::string& name) {
+    ThreadStream* stream = current_stream();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stream->thread_name = name;
+  }
+
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    streams_.clear();
+    next_track_id_ = 1;
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    t0_ = std::chrono::steady_clock::now();
+  }
+
+  void set_capacity(std::size_t events) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_capacity_ = events == 0 ? 1 : events;
+  }
+
+  std::vector<StreamSnapshot> snapshot() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<StreamSnapshot> out;
+    out.reserve(streams_.size());
+    for (const auto& stream : streams_) {
+      StreamSnapshot snap;
+      snap.thread_name = stream->thread_name;
+      const std::uint64_t head = stream->head.load(std::memory_order_acquire);
+      const std::uint64_t cap = stream->slots.size();
+      const std::uint64_t live = head < cap ? head : cap;
+      snap.recorded = head;
+      snap.dropped = head - live;
+      snap.events.reserve(live);
+      for (std::uint64_t i = head - live; i < head; ++i) {
+        snap.events.push_back(stream->slots[i % cap]);
+      }
+      out.push_back(std::move(snap));
+    }
+    return out;
+  }
+
+  std::string name_of(std::uint32_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id == 0 || id > names_.size()) return "?";
+    return names_[id - 1];
+  }
+
+  std::vector<std::string> name_table() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return names_;
+  }
+
+  std::vector<std::uint64_t> track_ids() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::uint64_t> out;
+    out.reserve(streams_.size());
+    for (const auto& stream : streams_) out.push_back(stream->track_id);
+    return out;
+  }
+
+ private:
+  Collector() : t0_(std::chrono::steady_clock::now()) {}
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadStream>> streams_;
+  std::unordered_map<std::string, std::uint32_t> name_ids_;
+  std::vector<std::string> names_;
+  std::atomic<std::uint64_t> epoch_{1};
+  std::size_t ring_capacity_ = kDefaultRingCapacity;
+  std::uint64_t next_track_id_ = 1;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+void append_event_json(std::string* out, const std::string& name,
+                       std::uint64_t tid, const TraceEvent& ev) {
+  char buf[96];
+  const double ts_us = static_cast<double>(ev.ts_ns) / 1000.0;
+  const char* ph = "i";
+  switch (ev.type) {
+    case EventType::kBegin: ph = "B"; break;
+    case EventType::kEnd: ph = "E"; break;
+    case EventType::kInstant: ph = "i"; break;
+    case EventType::kCounter: ph = "C"; break;
+  }
+  *out += "{\"name\":";
+  *out += json::escape(name);
+  std::snprintf(buf, sizeof(buf), ",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%llu",
+                ph, ts_us, static_cast<unsigned long long>(tid));
+  *out += buf;
+  if (ev.type == EventType::kCounter) {
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%llu}",
+                  static_cast<unsigned long long>(ev.a0));
+    *out += buf;
+  } else if (ev.type == EventType::kBegin && (ev.a0 != 0 || ev.a1 != 0)) {
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"a0\":%llu,\"a1\":%llu}",
+                  static_cast<unsigned long long>(ev.a0),
+                  static_cast<unsigned long long>(ev.a1));
+    *out += buf;
+  } else if (ev.type == EventType::kInstant) {
+    *out += ",\"s\":\"t\"";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  return Collector::instance().enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  Collector::instance().enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t intern_name(const std::string& name) {
+  return Collector::instance().intern(name);
+}
+
+void record_event(EventType type, std::uint32_t name_id, std::uint64_t a0,
+                  std::uint64_t a1) {
+  Collector& c = Collector::instance();
+  if (!c.enabled.load(std::memory_order_relaxed)) return;
+  TraceEvent ev;
+  ev.ts_ns = c.now_ns();
+  ev.name_id = name_id;
+  ev.type = type;
+  ev.a0 = a0;
+  ev.a1 = a1;
+  c.current_stream()->write(ev);
+}
+
+void name_current_thread(const std::string& name) {
+  Collector::instance().name_thread(name);
+}
+
+void reset_trace() { Collector::instance().reset(); }
+
+void set_ring_capacity(std::size_t events) {
+  Collector::instance().set_capacity(events);
+}
+
+std::vector<StreamSnapshot> snapshot_streams() {
+  return Collector::instance().snapshot();
+}
+
+std::string export_chrome_trace() {
+  Collector& c = Collector::instance();
+  const std::vector<StreamSnapshot> streams = c.snapshot();
+  const std::vector<std::uint64_t> tracks = c.track_ids();
+  const std::vector<std::string> names = c.name_table();
+  const auto name_of = [&names](std::uint32_t id) -> std::string {
+    if (id == 0 || id > names.size()) return "?";
+    return names[id - 1];
+  };
+
+  std::string out;
+  out.reserve(streams.size() * 4096 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"pilot\"}}";
+
+  for (std::size_t si = 0; si < streams.size(); ++si) {
+    const StreamSnapshot& stream = streams[si];
+    const std::uint64_t tid = si < tracks.size() ? tracks[si] : si + 1;
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":";
+    out += json::escape(stream.thread_name);
+    out += "}}";
+
+    // Ring overwrite can leave kEnd events whose matching kBegin was
+    // dropped; unbalanced events break Perfetto's slice nesting, so skip
+    // any kEnd while the surviving depth is zero and close still-open
+    // zones at the stream's last timestamp.
+    std::uint64_t depth = 0;
+    std::uint64_t last_ts = 0;
+    std::vector<std::uint32_t> open;
+    for (const TraceEvent& ev : stream.events) {
+      last_ts = ev.ts_ns > last_ts ? ev.ts_ns : last_ts;
+      if (ev.type == EventType::kEnd) {
+        if (depth == 0) continue;
+        --depth;
+        open.pop_back();
+      } else if (ev.type == EventType::kBegin) {
+        ++depth;
+        open.push_back(ev.name_id);
+      }
+      out += ",\n";
+      append_event_json(&out, name_of(ev.name_id), tid, ev);
+    }
+    for (std::size_t i = open.size(); i > 0; --i) {
+      TraceEvent end;
+      end.ts_ns = last_ts;
+      end.name_id = open[i - 1];
+      end.type = EventType::kEnd;
+      out += ",\n";
+      append_event_json(&out, name_of(end.name_id), tid, end);
+    }
+    if (stream.dropped > 0) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    ",\n{\"name\":\"trace_dropped_events\",\"ph\":\"i\",\"ts\":0.0,"
+                    "\"pid\":1,\"tid\":%llu,\"s\":\"t\",\"args\":{\"count\":%llu}}",
+                    static_cast<unsigned long long>(tid),
+                    static_cast<unsigned long long>(stream.dropped));
+      out += buf;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string text = export_chrome_trace();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+}  // namespace pilot::obs

@@ -2,11 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 
 namespace pilot {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::string& thread_tag_storage() {
+  thread_local std::string tag;
+  return tag;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -25,11 +31,35 @@ LogLevel level() { return g_level.load(std::memory_order_relaxed); }
 void set_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
+
+std::optional<LogLevel> level_from_string(const std::string& name) {
+  if (name == "silent") return LogLevel::kSilent;
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  return std::nullopt;
+}
+
+void init_from_env() {
+  const char* env = std::getenv("PILOT_LOG");
+  if (env == nullptr) return;
+  if (const auto parsed = level_from_string(env)) set_level(*parsed);
+}
+
+void set_thread_tag(const std::string& tag) { thread_tag_storage() = tag; }
+const std::string& thread_tag() { return thread_tag_storage(); }
 }  // namespace logcfg
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[pilot:%s] %s\n", level_tag(level), message.c_str());
+  const std::string& tag = thread_tag_storage();
+  if (tag.empty()) {
+    std::fprintf(stderr, "[pilot:%s] %s\n", level_tag(level), message.c_str());
+  } else {
+    std::fprintf(stderr, "[pilot:%s:%s] %s\n", level_tag(level), tag.c_str(),
+                 message.c_str());
+  }
 }
 }  // namespace detail
 

@@ -6,6 +6,7 @@
 /// examples and benches can silence the library wholesale.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -17,6 +18,20 @@ enum class LogLevel { kSilent = 0, kError, kWarn, kInfo, kDebug };
 namespace logcfg {
 LogLevel level();
 void set_level(LogLevel level);
+
+/// Parses "silent" / "error" / "warn" / "info" / "debug".
+std::optional<LogLevel> level_from_string(const std::string& name);
+
+/// Applies the PILOT_LOG environment variable (if set and valid) to the
+/// process-wide level. Explicit --log-level flags override it by calling
+/// set_level afterwards.
+void init_from_env();
+
+/// Per-thread tag prepended to every log line from this thread — portfolio
+/// workers set their backend name so interleaved output is attributable.
+/// Empty clears the tag.
+void set_thread_tag(const std::string& tag);
+const std::string& thread_tag();
 }  // namespace logcfg
 
 namespace detail {

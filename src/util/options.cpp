@@ -65,6 +65,18 @@ void OptionParser::add_double(const std::string& name, double* target,
   specs_[name] = std::move(spec);
 }
 
+void OptionParser::add_opt_double(const std::string& name, double* target,
+                                  double bare_value, std::string help) {
+  Spec spec;
+  spec.help = std::move(help);
+  spec.kind = "opt-double";
+  spec.apply = [target](const std::string& text) {
+    return parse_double(text, target);
+  };
+  spec.apply_flag = [target, bare_value](bool) { *target = bare_value; };
+  specs_[name] = std::move(spec);
+}
+
 void OptionParser::add_string(const std::string& name, std::string* target,
                               std::string help) {
   Spec spec;
@@ -131,6 +143,12 @@ bool OptionParser::parse(int argc, const char* const* argv) {
       spec.apply_flag(flag_value);
       continue;
     }
+    // Optional-value options: take the value only from the `=` form, so
+    // bare `--name` never swallows a following positional.
+    if (spec.kind == "opt-double" && !inline_value) {
+      spec.apply_flag(true);
+      continue;
+    }
     std::string value;
     if (inline_value) {
       value = *inline_value;
@@ -162,6 +180,8 @@ std::string OptionParser::help_text() const {
         oss << spec.choices[i];
       }
       oss << "}";
+    } else if (spec.kind == "opt-double") {
+      oss << "[=<double>]";
     } else if (spec.kind != "flag") {
       oss << " <" << spec.kind << ">";
     }

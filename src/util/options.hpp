@@ -30,6 +30,13 @@ class OptionParser {
   /// Double-valued option: `--name 0.5`.
   void add_double(const std::string& name, double* target, std::string help);
 
+  /// Double-valued option with an optional value: bare `--name` stores
+  /// `bare_value`, `--name=0.5` stores 0.5.  The value must be attached with
+  /// `=` — a following token is never consumed, so positionals stay
+  /// unambiguous (`pilot --progress model.aag`).
+  void add_opt_double(const std::string& name, double* target,
+                      double bare_value, std::string help);
+
   /// String-valued option: `--name value`.
   void add_string(const std::string& name, std::string* target,
                   std::string help);
@@ -53,7 +60,8 @@ class OptionParser {
  private:
   struct Spec {
     std::string help;
-    std::string kind;  // "flag", "int", "double", "string", "choice"
+    std::string kind;  // "flag", "int", "double", "opt-double", "string",
+                       // "choice"
     std::vector<std::string> choices;
     std::function<bool(const std::string&)> apply;  // empty for flags
     std::function<void(bool)> apply_flag;           // flags only

@@ -39,6 +39,34 @@ TEST(OptionParser, NoPrefixDisablesFlag) {
   EXPECT_FALSE(flag);
 }
 
+TEST(OptionParser, OptDoubleBareUsesDefaultAndNeverEatsPositionals) {
+  double secs = 0.0;
+  OptionParser p("test");
+  p.add_opt_double("progress", &secs, 2.0, "");
+  // Bare `--progress` takes the bare value and the following token stays a
+  // positional (the whole point of the opt-double kind).
+  const char* argv[] = {"prog", "--progress", "model.aag"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_DOUBLE_EQ(secs, 2.0);
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "model.aag");
+}
+
+TEST(OptionParser, OptDoubleEqualsValue) {
+  double secs = 0.0;
+  OptionParser p("test");
+  p.add_opt_double("progress", &secs, 2.0, "");
+  const char* argv[] = {"prog", "--progress=0.5"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_DOUBLE_EQ(secs, 0.5);
+
+  double secs2 = 0.0;
+  OptionParser p2("test");
+  p2.add_opt_double("progress", &secs2, 2.0, "");
+  const char* bad[] = {"prog", "--progress=abc"};
+  EXPECT_FALSE(p2.parse(2, bad));
+}
+
 TEST(OptionParser, EqualsSyntax) {
   std::int64_t n = 0;
   OptionParser p("test");

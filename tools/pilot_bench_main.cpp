@@ -10,8 +10,10 @@
 ///       [--time-threshold R] [--min-seconds S] [--fail-on-time]
 ///   pilot-bench bench-diff <old.json> <new.json>
 ///       [--threshold PCT] [--min-ns N] [--markdown] [--fail-on-regress]
+///   pilot-bench report <runs.jsonl>
 ///   pilot-bench make-manifest --suite SIZE --out DIR [--format aag|aig]
 ///   pilot-bench list --corpus <manifest|dir|suite:SIZE>
+///   pilot-bench validate-json <file>...
 ///
 /// `diff` with one file re-runs the campaign recorded in the baseline rows
 /// (same corpus, engines, budget, seed) and compares — the single command
@@ -31,12 +33,17 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "check/runner.hpp"
 #include "corpus/bench_diff.hpp"
 #include "engine/portfolio.hpp"
 #include "corpus/corpus.hpp"
 #include "corpus/manifest.hpp"
+#include "corpus/report.hpp"
 #include "corpus/results_db.hpp"
+#include "util/json.hpp"
 #include "util/options.hpp"
 
 using namespace pilot;
@@ -341,6 +348,84 @@ int cmd_bench_diff(int argc, const char* const* argv) {
   return report.failed(options) ? 1 : 0;
 }
 
+int cmd_report(int argc, const char* const* argv) {
+  OptionParser parser(
+      "pilot-bench report — aggregate a campaign db per engine and per "
+      "phase.\nusage: pilot-bench report <runs.jsonl>\n"
+      "Prints, for each engine: cases run, cases solved, total wall-clock, "
+      "and the summed per-phase time table.  Rows written by builds without "
+      "phase profiling contribute zeros (their tables are empty).");
+  if (!parser.parse(argc, argv)) return 3;
+  if (parser.positional().size() != 1) {
+    std::fprintf(stderr, "usage: pilot-bench report <runs.jsonl>\n");
+    return 3;
+  }
+  corpus::ResultsDb db = corpus::ResultsDb::load(parser.positional()[0]);
+  db.dedup();  // superseded re-run rows must not double-count
+  if (db.rows().empty()) {
+    std::fprintf(stderr, "pilot-bench report: %s is empty\n",
+                 parser.positional()[0].c_str());
+    return 3;
+  }
+  const std::vector<corpus::EnginePhaseReport> rows =
+      corpus::aggregate_phase_report(db);
+  std::fputs(corpus::render_phase_report(rows).c_str(), stdout);
+  return 0;
+}
+
+int cmd_validate_json(int argc, const char* const* argv) {
+  OptionParser parser(
+      "pilot-bench validate-json — parse JSON artifacts and fail on the "
+      "first malformed one.\nusage: pilot-bench validate-json <file>...\n"
+      "Files ending in .jsonl are validated line by line; everything else "
+      "must be one JSON document.  The CI smoke gate for --trace and "
+      "--stats-json output.");
+  if (!parser.parse(argc, argv)) return 3;
+  if (parser.positional().empty()) {
+    std::fprintf(stderr, "usage: pilot-bench validate-json <file>...\n");
+    return 3;
+  }
+  for (const std::string& path : parser.positional()) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "pilot-bench validate-json: cannot open %s\n",
+                   path.c_str());
+      return 3;
+    }
+    const bool jsonl =
+        path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+    try {
+      if (jsonl) {
+        std::string line;
+        std::size_t line_no = 0;
+        std::size_t rows = 0;
+        while (std::getline(in, line)) {
+          ++line_no;
+          if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+          try {
+            (void)json::parse(line);
+          } catch (const std::exception& e) {
+            throw std::runtime_error("line " + std::to_string(line_no) +
+                                     ": " + e.what());
+          }
+          ++rows;
+        }
+        std::printf("%s: ok (%zu rows)\n", path.c_str(), rows);
+      } else {
+        std::ostringstream text;
+        text << in.rdbuf();
+        (void)json::parse(text.str());
+        std::printf("%s: ok\n", path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pilot-bench validate-json: %s: %s\n",
+                   path.c_str(), e.what());
+      return 3;
+    }
+  }
+  return 0;
+}
+
 int cmd_make_manifest(int argc, const char* const* argv) {
   std::string suite = "tiny";
   std::string out_dir;
@@ -403,9 +488,11 @@ void print_usage() {
       "subcommands:\n"
       "  run            run a (corpus × engines) matrix into the db\n"
       "  diff           compare a campaign against a baseline db\n"
+      "  report         aggregate a campaign db per engine and per phase\n"
       "  bench-diff     compare two google-benchmark JSON artifacts\n"
       "  make-manifest  export a built-in suite as an on-disk corpus\n"
-      "  list           show a corpus' cases and parse metadata\n\n"
+      "  list           show a corpus' cases and parse metadata\n"
+      "  validate-json  parse JSON/JSONL artifacts (CI smoke gate)\n\n"
       "try `pilot-bench <subcommand> --help` for flags\n",
       stdout);
 }
@@ -431,6 +518,10 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "run") return cmd_run(sub_argc, args.data());
     if (cmd == "diff") return cmd_diff(sub_argc, args.data());
+    if (cmd == "report") return cmd_report(sub_argc, args.data());
+    if (cmd == "validate-json") {
+      return cmd_validate_json(sub_argc, args.data());
+    }
     if (cmd == "bench-diff") return cmd_bench_diff(sub_argc, args.data());
     if (cmd == "make-manifest") {
       return cmd_make_manifest(sub_argc, args.data());

@@ -42,7 +42,10 @@
 #include "engine/portfolio.hpp"
 #include "ic3/gen_strategy.hpp"
 #include "ic3/witness.hpp"
+#include "obs/trace.hpp"
 #include "ts/transition_system.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/options.hpp"
 
 using namespace pilot;
@@ -144,6 +147,10 @@ int main(int argc, char** argv) {
   std::string corpus_spec;
   std::int64_t jobs = 0;
   std::string out_path;
+  std::string trace_path;
+  double progress_secs = 0.0;
+  std::string stats_json_path;
+  std::string log_level;
 
   OptionParser parser(
       "pilot — SAT-based safety model checker: IC3 with lemma prediction "
@@ -213,6 +220,20 @@ int main(int argc, char** argv) {
   parser.add_string("out", &out_path,
                     "batch mode: append results-db JSONL rows to this file "
                     "(default: stdout)");
+  parser.add_string("trace", &trace_path,
+                    "write a Chrome trace-event JSON of the run to this "
+                    "path (open in Perfetto / chrome://tracing)");
+  parser.add_opt_double("progress", &progress_secs, 2.0,
+                        "print a live-progress heartbeat to stderr every "
+                        "<double> seconds (bare --progress = every 2s); "
+                        "portfolio runs print one line per backend");
+  parser.add_string("stats-json", &stats_json_path,
+                    "write the run's verdict, timing, and engine statistics "
+                    "(including per-phase times) as JSON to this path");
+  parser.add_choice("log-level", &log_level,
+                    {"silent", "error", "warn", "info", "debug"},
+                    "log verbosity (overrides the PILOT_LOG environment "
+                    "variable)");
 
   // OptionParser::parse returns false for both --help and errors; handle
   // --help up front so `pilot --help` exits 0.
@@ -225,10 +246,33 @@ int main(int argc, char** argv) {
   }
   if (!parser.parse(argc, argv)) return 3;
 
+  // PILOT_LOG from the environment first; an explicit --log-level wins.
+  logcfg::init_from_env();
+  if (!log_level.empty()) {
+    logcfg::set_level(*logcfg::level_from_string(log_level));
+  }
+  if (!trace_path.empty()) obs::set_trace_enabled(true);
+
   if (list_families) {
     for (const auto& name : family_names()) std::printf("%s\n", name.c_str());
     return 0;
   }
+
+  // Exports the (process-global) trace once the run is over; shared by the
+  // batch and single-check paths.
+  const auto dump_trace = [&trace_path]() {
+    if (trace_path.empty()) return true;
+    if (!obs::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "pilot: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return false;
+    }
+    std::fprintf(stderr,
+                 "[pilot] trace written to %s (open in Perfetto or "
+                 "chrome://tracing)\n",
+                 trace_path.c_str());
+    return true;
+  };
 
   try {
     // Validate the strategy spec before any work: an unknown name or a
@@ -310,6 +354,7 @@ int main(int argc, char** argv) {
                        r.error.c_str());
         }
       }
+      if (!dump_trace()) return 3;
       const corpus::CampaignSummary s = corpus::summarize_campaign(records);
       std::fprintf(stderr,
                    "[pilot] %zu cases with %s: %zu solved, %zu unknown, "
@@ -378,6 +423,7 @@ int main(int argc, char** argv) {
     opts.seed = static_cast<std::uint64_t>(seed);
     opts.property_index = static_cast<std::size_t>(property);
     opts.verify_witness = verify_witness;
+    opts.progress_interval = progress_secs;
     // Build the transition system once; witness rendering reuses it.
     const ts::TransitionSystem ts =
         ts::TransitionSystem::from_aig(model, opts.property_index);
@@ -429,6 +475,32 @@ int main(int argc, char** argv) {
     }
     if (show_stats) {
       std::fprintf(stderr, "[pilot] %s\n", r.stats.summary().c_str());
+      if (!r.stats.phases.empty()) {
+        std::fputs(r.stats.phases.table(r.stats.time_total).c_str(), stderr);
+      }
+    }
+    if (!dump_trace()) return 3;
+    if (!stats_json_path.empty()) {
+      json::Object o;
+      o["engine"] = engine;
+      o["verdict"] = ic3::to_string(r.verdict);
+      o["seconds"] = r.seconds;
+      o["frames"] = r.frames;
+      if (!r.winner.empty()) o["winner"] = r.winner;
+      o["stats"] = corpus::stats_to_json(r.stats);
+      const std::string text = json::Value(std::move(o)).dump() + "\n";
+      std::FILE* f = std::fopen(stats_json_path.c_str(), "wb");
+      const bool wrote =
+          f != nullptr &&
+          std::fwrite(text.data(), 1, text.size(), f) == text.size();
+      const bool closed = f != nullptr && std::fclose(f) == 0;
+      if (!wrote || !closed) {
+        std::fprintf(stderr, "pilot: cannot write stats to %s\n",
+                     stats_json_path.c_str());
+        return 3;
+      }
+      std::fprintf(stderr, "[pilot] stats written to %s\n",
+                   stats_json_path.c_str());
     }
     switch (r.verdict) {
       case ic3::Verdict::kSafe: return 0;
