@@ -70,6 +70,8 @@ CheckResult certify(const ts::TransitionSystem& ts, engine::EngineResult r,
   }
   out.trace = std::move(r.trace);
   out.invariant = std::move(r.invariant);
+  out.kind_k = r.kind_k;
+  out.kind_simple_path = r.kind_simple_path;
   return out;
 }
 
@@ -107,6 +109,11 @@ CheckResult run_portfolio_backends(const ts::TransitionSystem& ts,
   po.sat_inprocess = options.sat_inprocess;
   po.gen_batch = options.gen_batch;
   po.share_lemmas = share_lemmas;
+  // The certificate gate rides the verify-witness switch: every definitive
+  // verdict must re-check under the independent checker before it can win
+  // the race; failures quarantine the backend instead of cancelling.
+  po.certify = options.verify_witness;
+  po.property_index = options.property_index;
   // ic3_overrides is deliberately NOT forwarded: one override applied to
   // every IC3-family backend would collapse the race into identical
   // configurations.  Overrides apply to single-engine specs only.

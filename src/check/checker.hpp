@@ -104,6 +104,11 @@ struct CheckResult {
   std::string witness_error;     // non-empty if certification failed
   std::optional<ic3::Trace> trace;                  // UNSAFE certificate
   std::optional<ic3::InductiveInvariant> invariant; // SAFE certificate
+  /// k-induction SAFE proofs: the closing bound (< 0 otherwise) and whether
+  /// simple-path strengthening was on — the payload cert::from_kinduction
+  /// turns into a certificate.
+  int kind_k = -1;
+  bool kind_simple_path = true;
   /// Portfolio runs only: the winning backend and one timing row per raced
   /// backend (spec order).
   std::string winner;

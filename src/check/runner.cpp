@@ -10,9 +10,11 @@
 #include <thread>
 #include <utility>
 
+#include "cert/certificate.hpp"
 #include "engine/backend.hpp"
 #include "engine/portfolio.hpp"
 #include "ic3/gen_strategy.hpp"
+#include "ts/transition_system.hpp"
 
 namespace pilot::check {
 
@@ -37,6 +39,16 @@ struct LoadedCase {
   std::optional<aig::Aig> aig;
   std::string error;
 };
+
+/// File-name-safe rendering of an engine spec ("portfolio:a+b" →
+/// "portfolio-a-b") for certificate paths.
+std::string sanitize_engine_spec(const std::string& spec) {
+  std::string out = spec;
+  for (char& c : out) {
+    if (c == ':' || c == '+' || c == '/' || c == '\\') c = '-';
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -148,6 +160,44 @@ std::vector<RunRecord> run_matrix(const std::vector<corpus::Case>& cases,
                      cc.name.c_str(), spec.c_str(),
                      res.witness_error.c_str());
         soundness_violated.store(true);
+      }
+      // Certification pass (--certify): emit the verdict's certificate and
+      // re-check it with the independent checker; a failure trips the same
+      // soundness gate as a bad witness.
+      if (rec.solved && options.certify) {
+        const ts::TransitionSystem ts =
+            ts::TransitionSystem::from_aig(*lc.aig, 0);
+        std::string why;
+        const std::optional<cert::Certificate> c = cert::from_verdict(
+            ts, res.verdict, res.invariant, res.trace, res.kind_k,
+            res.kind_simple_path, /*property_index=*/0, &why);
+        ++rec.stats.num_cert_checks;
+        if (c.has_value()) {
+          const ic3::CheckOutcome outcome = cert::check(ts, *c, options.seed);
+          if (outcome.ok) {
+            rec.cert_status = "ok";
+            if (!options.cert_dir.empty()) {
+              const std::string path = options.cert_dir + "/" + cc.name +
+                                       "__" + sanitize_engine_spec(spec) +
+                                       ".cert";
+              if (cert::save(*c, path)) {
+                rec.cert_path = path;
+              } else {
+                rec.cert_status = "failed: cannot write " + path;
+              }
+            }
+          } else {
+            rec.cert_status = "failed: " + outcome.reason;
+          }
+        } else {
+          rec.cert_status = "failed: " + why;
+        }
+        if (rec.cert_status != "ok") {
+          ++rec.stats.num_cert_failures;
+          std::fprintf(stderr, "CERTIFICATE CHECK FAILED: %s with %s: %s\n",
+                       cc.name.c_str(), spec.c_str(), rec.cert_status.c_str());
+          soundness_violated.store(true);
+        }
       }
       records[j] = std::move(rec);
     }

@@ -41,6 +41,12 @@ struct RunRecord {
   /// Non-empty when the case failed to load (missing/malformed AIGER) —
   /// the verdict stays kUnknown and no engine ran.
   std::string error;
+  /// Certification outcome when RunMatrixOptions::certify was on and the
+  /// verdict was definitive: "ok", or "failed: <reason>".  Empty when
+  /// certification did not run (off, or no verdict).
+  std::string cert_status;
+  /// Path of the saved certificate file (only with certify + cert_dir).
+  std::string cert_path;
   ic3::Ic3Stats stats;
 };
 
@@ -66,6 +72,14 @@ struct RunMatrixOptions {
   /// Worker threads; 0 = hardware concurrency.
   std::size_t jobs = 0;
   bool verify_witness = true;
+  /// Emit + independently re-check a certificate for every definitive
+  /// verdict (cert/certificate.hpp); outcomes land in
+  /// RunRecord::cert_status and the cert_* stats counters.
+  bool certify = false;
+  /// When non-empty (and certify is on), certificates are saved as
+  /// "<cert_dir>/<case>__<engine>.cert" and the path recorded in
+  /// RunRecord::cert_path.  The directory must already exist.
+  std::string cert_dir;
   /// Abort on verdict/expectation mismatch (soundness gate).  Cases with
   /// expected == kUnknown are exempt.
   bool strict = true;

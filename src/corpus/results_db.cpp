@@ -42,6 +42,7 @@ json::Value stats_to_json(const ic3::Ic3Stats& s) {
   o["filter_checks"] = s.num_filter_checks;
   o["filter_solves_saved"] = s.num_filter_solves_saved;
   o["filter_witnesses"] = s.num_filter_witnesses;
+  o["filter_blocking_witnesses"] = s.num_filter_blocking_witnesses;
   o["packed_sim_words"] = s.num_packed_sim_words;
   // Generalization-strategy rows (PR 5): one object per strategy that ran,
   // sorted by name for stable serialization, plus the dynamic-switch and
@@ -72,6 +73,10 @@ json::Value stats_to_json(const ic3::Ic3Stats& s) {
   o["exchange_imported"] = s.num_exchange_imported;
   o["exchange_rejected"] = s.num_exchange_rejected;
   o["exchange_skipped"] = s.num_exchange_skipped;
+  // Certification counters (PR 9): how many certificate checks gated this
+  // row's verdict and how many failed (quarantines).
+  o["cert_checks"] = s.num_cert_checks;
+  o["cert_failures"] = s.num_cert_failures;
   // Inprocessing / batched-probe counters (PR 7): subsumption and
   // vivification work done in place, probing yield on unrolled CNFs, and
   // how many MIC candidate drops each batched solve answered.
@@ -133,6 +138,8 @@ ic3::Ic3Stats stats_from_json(const json::Value& v) {
   s.num_filter_checks = v.at("filter_checks").as_uint();
   s.num_filter_solves_saved = v.at("filter_solves_saved").as_uint();
   s.num_filter_witnesses = v.at("filter_witnesses").as_uint();
+  s.num_filter_blocking_witnesses =
+      v.at("filter_blocking_witnesses").as_uint();
   s.num_packed_sim_words = v.at("packed_sim_words").as_uint();
   // Strategy / exchange fields (PR 5): absent in older rows — at() returns
   // null and the as_* fallbacks keep everything 0 / empty.
@@ -153,6 +160,9 @@ ic3::Ic3Stats stats_from_json(const json::Value& v) {
   s.num_exchange_imported = v.at("exchange_imported").as_uint();
   s.num_exchange_rejected = v.at("exchange_rejected").as_uint();
   s.num_exchange_skipped = v.at("exchange_skipped").as_uint();
+  // Certification fields (PR 9): absent in older rows — null/0 fallback.
+  s.num_cert_checks = v.at("cert_checks").as_uint();
+  s.num_cert_failures = v.at("cert_failures").as_uint();
   // Inprocessing / batched-probe fields (PR 7): absent in older rows —
   // the same null/0 fallback keeps pre-existing baselines loadable.
   s.sat_subsumed_clauses = v.at("sat_subsumed").as_uint();
@@ -196,6 +206,10 @@ json::Value to_json(const RunRow& row) {
   o["seconds"] = r.seconds;
   o["frames"] = r.frames;
   if (!r.error.empty()) o["error"] = r.error;
+  // Certificate fields (PR 9): emitted only when certification ran, so
+  // rows written without --certify stay byte-identical to older builds.
+  if (!r.cert_status.empty()) o["cert_status"] = r.cert_status;
+  if (!r.cert_path.empty()) o["cert_path"] = r.cert_path;
   o["stats"] = stats_to_json(r.stats);
   o["corpus"] = row.context.corpus;
   o["commit"] = row.context.commit;
@@ -224,6 +238,8 @@ RunRow row_from_json(const json::Value& v) {
   r.seconds = v.at("seconds").as_double();
   r.frames = v.at("frames").as_uint();
   r.error = v.at("error").as_string();
+  r.cert_status = v.at("cert_status").as_string();  // absent in old rows
+  r.cert_path = v.at("cert_path").as_string();      // absent in old rows
   r.stats = stats_from_json(v.at("stats"));
   row.context.corpus = v.at("corpus").as_string();
   row.context.commit = v.at("commit").as_string();

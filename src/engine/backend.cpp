@@ -124,7 +124,11 @@ class KinductionBackend final : public Backend {
     out.stats.time_total = r.seconds;
     out.interrupted = r.verdict == bmc::KindVerdict::kUnknown;
     if (r.k >= 0) out.frames = static_cast<std::size_t>(r.k);
-    if (r.verdict == bmc::KindVerdict::kSafe) out.verdict = ic3::Verdict::kSafe;
+    if (r.verdict == bmc::KindVerdict::kSafe) {
+      out.verdict = ic3::Verdict::kSafe;
+      out.kind_k = r.k;
+      out.kind_simple_path = options_.simple_path;
+    }
     if (r.verdict == bmc::KindVerdict::kUnsafe) {
       out.verdict = ic3::Verdict::kUnsafe;
       out.trace = std::move(r.trace);

@@ -53,6 +53,11 @@ struct EngineResult {
   bool interrupted = false;
   std::optional<ic3::Trace> trace;                   // UNSAFE certificate
   std::optional<ic3::InductiveInvariant> invariant;  // SAFE certificate
+  /// k-induction SAFE payload (cert/certificate.hpp): the bound the step
+  /// query closed at (< 0 when not a k-induction proof) and whether the
+  /// simple-path strengthening was in force.
+  int kind_k = -1;
+  bool kind_simple_path = true;
 };
 
 /// Per-run knobs shared by every backend of one check.

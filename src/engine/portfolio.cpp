@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "cert/certificate.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -108,13 +109,50 @@ PortfolioResult run_portfolio(const ts::TransitionSystem& ts,
   CancelToken stop(cancel);
   std::atomic<int> winner{-1};
   std::vector<EngineResult> results(backends.size());
+  // Per-worker quarantine slots (vector<char>, not vector<bool>: each
+  // worker writes only its own element, which must be a distinct object).
+  std::vector<char> quarantined(backends.size(), 0);
+  std::vector<std::string> quarantine_reasons(backends.size());
 
   auto worker = [&](std::size_t i) {
     EngineResult r = backends[i]->check(deadline, &stop);
     if (r.verdict != ic3::Verdict::kUnknown) {
-      int expected = -1;
-      if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
-        stop.request_stop();
+      // Trust-but-verify gate: the verdict only enters winner selection
+      // once its certificate passes the independent checker.  A failure
+      // quarantines this backend's answer and cancels nothing — the race
+      // continues with the remaining backends.
+      bool accept = true;
+      if (options.certify) {
+        std::string why;
+        const std::optional<cert::Certificate> c = cert::from_verdict(
+            ts, r.verdict, r.invariant, r.trace, r.kind_k, r.kind_simple_path,
+            options.property_index, &why);
+        ++r.stats.num_cert_checks;
+        if (c.has_value()) {
+          const ic3::CheckOutcome outcome =
+              cert::check(ts, *c, options.seed + i + 1);
+          if (!outcome.ok) {
+            accept = false;
+            why = outcome.reason;
+          }
+        } else {
+          accept = false;
+        }
+        if (!accept) {
+          ++r.stats.num_cert_failures;
+          quarantined[i] = 1;
+          quarantine_reasons[i] = why;
+          PILOT_WARN("portfolio: quarantined " << names[i] << " ("
+                                               << ic3::to_string(r.verdict)
+                                               << "): " << why);
+          PILOT_TRACE_INSTANT("cert.quarantine");
+        }
+      }
+      if (accept) {
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+          stop.request_stop();
+        }
       }
     }
     results[i] = std::move(r);
@@ -154,6 +192,8 @@ PortfolioResult run_portfolio(const ts::TransitionSystem& ts,
     timing.lemmas_published = results[i].stats.num_exchange_published;
     timing.lemmas_imported = results[i].stats.num_exchange_imported;
     timing.lemmas_rejected = results[i].stats.num_exchange_rejected;
+    timing.quarantined = quarantined[i] != 0;
+    timing.quarantine_reason = quarantine_reasons[i];
     out.timings.push_back(std::move(timing));
   }
   if (hub != nullptr) out.exchange = hub->stats();

@@ -60,6 +60,15 @@ struct PortfolioOptions {
   /// own named channel so the heartbeat shows a line per racer — a wedged
   /// backend is visible as a flat 0 q/s line while it is wedged.
   obs::ProgressMonitor* progress = nullptr;
+  /// Gate every definitive verdict on its certificate
+  /// (cert/certificate.hpp): a backend only claims the win once its
+  /// invariant / k-induction bound / witness re-checks under the
+  /// independent checker.  A failed check quarantines that backend's
+  /// result — logged, counted, and excluded from winner selection — while
+  /// the race continues with everyone else.
+  bool certify = true;
+  /// Property index certificates are emitted against (witness "b<n>" line).
+  std::size_t property_index = 0;
 };
 
 /// Per-backend outcome of one race, in spec order.
@@ -76,6 +85,11 @@ struct BackendTiming {
   std::uint64_t lemmas_published = 0;
   std::uint64_t lemmas_imported = 0;
   std::uint64_t lemmas_rejected = 0;
+  /// This backend produced a definitive verdict whose certificate failed
+  /// the independent check — the verdict was discarded, not raced.
+  bool quarantined = false;
+  /// Why the certificate check failed (empty unless quarantined).
+  std::string quarantine_reason;
 };
 
 struct PortfolioResult {

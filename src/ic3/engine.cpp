@@ -217,6 +217,9 @@ bool Engine::block(int root_index, const Deadline& deadline) {
       ++stats_.num_ctis;
       const Cube pred_full = solvers_.model_state(/*primed=*/false);
       const std::vector<Lit> inputs = solvers_.model_inputs();
+      // The predecessor satisfies R_{ob.level-1}, exactly the shape the
+      // drop-filter caches — donate it before lifting re-solves.
+      generalizer_.on_blocking_cti(pred_full, inputs, ob.level);
       const Cube pred =
           lifter_.lift_predecessor(pred_full, inputs, ob.cube, deadline);
       // push_back below may reallocate pool_, invalidating `ob` — snapshot

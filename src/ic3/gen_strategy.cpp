@@ -51,6 +51,13 @@ class FixedStrategy final : public GenStrategy {
     if (filter_) filter_->on_lemma(lemma, level);
   }
 
+  void on_blocking_cti(const Cube& state, const std::vector<Lit>& inputs,
+                       std::size_t level) override {
+    if (!filter_) return;
+    filter_->add_witness(state, inputs, level);
+    ++ctx_.stats.num_filter_blocking_witnesses;
+  }
+
  private:
   [[nodiscard]] std::vector<Lit> order_literals(const Cube& cube,
                                                 std::size_t level) const {
@@ -306,6 +313,11 @@ class PredictStrategy final : public GenStrategy {
 
   void on_lemma(const Cube& lemma, std::size_t level) override {
     fallback_.on_lemma(lemma, level);
+  }
+
+  void on_blocking_cti(const Cube& state, const std::vector<Lit>& inputs,
+                       std::size_t level) override {
+    fallback_.on_blocking_cti(state, inputs, level);
   }
 
  private:

@@ -104,6 +104,19 @@ class GenStrategy {
     (void)lemma;
     (void)level;
   }
+
+  /// The engine's blocking query at `level` found a concrete predecessor
+  /// `state` (full model, reachable from R_{level-1}) under `inputs`.
+  /// Strategies caching CTI witnesses (the ternary drop-filter) absorb it
+  /// here — every SAT answer the engine already paid for is a witness the
+  /// drop loop can reuse.
+  virtual void on_blocking_cti(const Cube& state,
+                               const std::vector<Lit>& inputs,
+                               std::size_t level) {
+    (void)state;
+    (void)inputs;
+    (void)level;
+  }
 };
 
 using GenStrategyFactory = std::function<std::unique_ptr<GenStrategy>(

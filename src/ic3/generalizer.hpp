@@ -62,6 +62,13 @@ class Generalizer {
     strategy_->on_lemma(lemma, level);
   }
 
+  /// Blocking-query CTI hook: the engine donates the predecessor model of
+  /// every failed blocking query to the drop-filter witness cache.
+  void on_blocking_cti(const Cube& state, const std::vector<Lit>& inputs,
+                       std::size_t level) {
+    strategy_->on_blocking_cti(state, inputs, level);
+  }
+
   /// Registry name of the configured strategy ("down", "dynamic", …).
   [[nodiscard]] const std::string& strategy_name() const {
     return strategy_->name();

@@ -94,6 +94,7 @@ std::string Ic3Stats::summary() const {
     oss << " | ternary: filter_checks=" << num_filter_checks
         << " solves_saved=" << num_filter_solves_saved
         << " witnesses=" << num_filter_witnesses
+        << " blocking_witnesses=" << num_filter_blocking_witnesses
         << " packed_words=" << num_packed_sim_words;
   }
   if (num_batched_drop_solves > 0) {
@@ -115,6 +116,10 @@ std::string Ic3Stats::summary() const {
         << " imported=" << num_exchange_imported
         << " rejected=" << num_exchange_rejected
         << " skipped=" << num_exchange_skipped;
+  }
+  if (num_cert_checks > 0) {
+    oss << " | cert: checks=" << num_cert_checks
+        << " failures=" << num_cert_failures;
   }
   if (sat_solve_calls > 0) {
     oss << " | sat: calls=" << sat_solve_calls

@@ -111,6 +111,10 @@ struct Ic3Stats {
   std::uint64_t num_filter_solves_saved = 0;
   /// CTI witnesses cached by the filter from failed drop solves.
   std::uint64_t num_filter_witnesses = 0;
+  /// CTI witnesses donated by the engine's *blocking* queries (every
+  /// failed relative-induction check during obligation chasing), on top of
+  /// the drop-loop witnesses counted above.
+  std::uint64_t num_filter_blocking_witnesses = 0;
   /// Node-words (32 packed lanes each) evaluated by packed ternary
   /// simulation, across the lifter and the drop-filter.
   std::uint64_t num_packed_sim_words = 0;
@@ -135,6 +139,14 @@ struct Ic3Stats {
   std::uint64_t num_exchange_imported = 0;   // peer lemmas validated+installed
   std::uint64_t num_exchange_rejected = 0;   // failed the validation query
   std::uint64_t num_exchange_skipped = 0;    // already subsumed locally
+
+  // --- verdict certification (cert/certificate.hpp) ---
+  /// Certificates checked against this result (portfolio winner gating,
+  /// --certify, pilot-bench --certify).
+  std::uint64_t num_cert_checks = 0;
+  /// Certificate checks that failed — each one quarantines a backend's
+  /// verdict in the portfolio instead of accepting it.
+  std::uint64_t num_cert_failures = 0;
 
   // --- SAT layer (absorbed from sat::SolverStats at the end of a run) ---
   std::uint64_t sat_solve_calls = 0;

@@ -5,6 +5,7 @@
 
 #include "bmc/bmc.hpp"
 #include "bmc/kinduction.hpp"
+#include "cert/certificate.hpp"
 #include "circuits/families.hpp"
 #include "ic3/witness.hpp"
 #include "ts/transition_system.hpp"
@@ -103,6 +104,33 @@ TEST(Kinduction, SimplePathCompletesOnFiniteSystems) {
   options.max_k = 20;
   const KindResult with_sp = run_kinduction(ts, options);
   EXPECT_EQ(with_sp.verdict, KindVerdict::kSafe);
+}
+
+TEST(Kinduction, UnsafeWitnessesReplayUnderBitSimulator) {
+  // Property: every counterexample extract_unrolled_trace produces from the
+  // base-case model must replay concretely — once through ic3::check_trace
+  // and once solver-free through the witness-certificate path (an HWMCC
+  // rendering driven through aig::BitSimulator).
+  std::vector<circuits::CircuitCase> cases;
+  cases.push_back(circuits::counter_unsafe(4, 9));
+  cases.push_back(circuits::counter_enable_unsafe(3, 5));
+  cases.push_back(circuits::token_ring_unsafe(4));
+  cases.push_back(circuits::gray_counter_unsafe(4));
+  cases.push_back(circuits::fifo_unsafe(3, 5));
+  cases.push_back(circuits::twin_counters_unsafe(4));
+  cases.push_back(circuits::saturating_accumulator_unsafe(3, 5));
+  cases.push_back(circuits::arbiter_unsafe(3));
+  for (const circuits::CircuitCase& cc : cases) {
+    const ts::TransitionSystem ts = ts::TransitionSystem::from_aig(cc.aig);
+    const KindResult r = run_kinduction(ts, KindOptions{});
+    ASSERT_EQ(r.verdict, KindVerdict::kUnsafe) << cc.name;
+    ASSERT_TRUE(r.trace.has_value()) << cc.name;
+    const ic3::CheckOutcome replay = ic3::check_trace(ts, *r.trace);
+    EXPECT_TRUE(replay.ok) << cc.name << ": " << replay.reason;
+    const cert::Certificate cert = cert::from_trace(ts, *r.trace);
+    const ic3::CheckOutcome certified = cert::check(ts, cert);
+    EXPECT_TRUE(certified.ok) << cc.name << ": " << certified.reason;
+  }
 }
 
 TEST(Kinduction, DeadlineReturnsUnknown) {

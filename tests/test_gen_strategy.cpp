@@ -358,6 +358,7 @@ TEST(DropFilter, FilterIsTrajectoryInvisibleOnFixtureCorpus) {
       corpus::resolve_corpus(PILOT_TEST_CORPUS_DIR);
   ASSERT_FALSE(cases.empty());
   std::uint64_t total_saved = 0;
+  std::uint64_t total_blocking = 0;
   for (const corpus::Case& c : cases) {
     const ts::TransitionSystem ts = ts::TransitionSystem::from_aig(c.load());
     auto run = [&](bool filter) {
@@ -388,8 +389,14 @@ TEST(DropFilter, FilterIsTrajectoryInvisibleOnFixtureCorpus) {
               off.stats.num_mic_queries)
         << c.name;
     total_saved += on.stats.num_filter_solves_saved;
+    // Blocking-query CTIs are donated to the witness cache only while the
+    // filter exists; the off-run must account exactly zero of them.
+    EXPECT_EQ(off.stats.num_filter_blocking_witnesses, 0u) << c.name;
+    total_blocking += on.stats.num_filter_blocking_witnesses;
   }
   EXPECT_GT(total_saved, 0u) << "filter never fired on the fixture corpus";
+  EXPECT_GT(total_blocking, 0u)
+      << "no blocking-query CTI reached the witness cache";
 }
 
 }  // namespace

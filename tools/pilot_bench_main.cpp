@@ -6,6 +6,9 @@
 ///
 ///   pilot-bench run --corpus <manifest|dir|suite:SIZE> --engines a+b
 ///       [--budget-ms N] [--jobs N] [--out runs.jsonl]
+///       [--certify] [--cert-dir DIR]
+///   pilot-bench fuzz [--cases N] [--seed U64|from-commit] [--engines a+b]
+///       [--budget-ms N] [--out DIR]
 ///   pilot-bench diff <baseline.jsonl> [<current.jsonl>]
 ///       [--time-threshold R] [--min-seconds S] [--fail-on-time]
 ///   pilot-bench bench-diff <old.json> <new.json>
@@ -14,6 +17,13 @@
 ///   pilot-bench make-manifest --suite SIZE --out DIR [--format aag|aig]
 ///   pilot-bench list --corpus <manifest|dir|suite:SIZE>
 ///   pilot-bench validate-json <file>...
+///
+/// `fuzz` generates random instances of the built-in circuit families (and
+/// seeded single-fault mutants of them), cross-checks the verdicts of
+/// several engines against each other and against the family's expected
+/// status, certifies every definitive verdict with the independent checker
+/// (cert/certificate.hpp), and shrinks any disagreement to the smallest
+/// family parameter that still reproduces it.
 ///
 /// `diff` with one file re-runs the campaign recorded in the baseline rows
 /// (same corpus, engines, budget, seed) and compares — the single command
@@ -29,20 +39,26 @@
 /// Exit codes: 0 = ok, 1 = regression / expectation mismatch, 3 = usage or
 /// I/O error.
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include <fstream>
 #include <sstream>
 
+#include "aig/aiger_io.hpp"
+#include "cert/certificate.hpp"
 #include "check/runner.hpp"
+#include "circuits/families.hpp"
 #include "corpus/bench_diff.hpp"
 #include "engine/portfolio.hpp"
 #include "corpus/corpus.hpp"
 #include "corpus/manifest.hpp"
 #include "corpus/report.hpp"
 #include "corpus/results_db.hpp"
+#include "ts/transition_system.hpp"
 #include "util/json.hpp"
 #include "util/options.hpp"
 
@@ -147,6 +163,8 @@ int cmd_run(int argc, const char* const* argv) {
   std::int64_t gen_batch = -1;
   bool truncate = false;
   bool verify_witness = true;
+  bool certify = false;
+  std::string cert_dir;
   OptionParser parser(
       "pilot-bench run — run a (corpus × engines) campaign into a results "
       "db");
@@ -181,6 +199,12 @@ int cmd_run(int argc, const char* const* argv) {
                   "start --out fresh instead of appending");
   parser.add_flag("verify-witness", &verify_witness,
                   "re-check produced certificates (default on)");
+  parser.add_flag("certify", &certify,
+                  "emit + independently re-check a certificate for every "
+                  "definitive verdict (outcome in the cert_status column)");
+  parser.add_string("cert-dir", &cert_dir,
+                    "with --certify: save certificate files here (the "
+                    "directory must already exist)");
   if (!parser.parse(argc, argv)) return 3;
   if (corpus_spec.empty()) {
     std::fprintf(stderr, "pilot-bench run: --corpus is required\n");
@@ -208,11 +232,388 @@ int cmd_run(int argc, const char* const* argv) {
   options.jobs = static_cast<std::size_t>(jobs);
   options.seed = static_cast<std::uint64_t>(seed);
   options.verify_witness = verify_witness;
+  options.certify = certify || !cert_dir.empty();
+  options.cert_dir = cert_dir;
   options.strict = false;  // mismatches surface via the exit code
   corpus::ResultsDb::Writer writer(out_path, truncate);
   const std::vector<check::RunRecord> records = run_campaign(
       corpus_spec, split_engines(engines_text), options, &writer, nullptr);
-  return report_campaign(records, out_path);
+  const int rc = report_campaign(records, out_path);
+  std::size_t cert_failures = 0;
+  for (const check::RunRecord& r : records) {
+    if (!r.cert_status.empty() && r.cert_status != "ok") ++cert_failures;
+  }
+  if (cert_failures != 0) {
+    std::fprintf(stderr, "[pilot-bench] %zu certificate failures\n",
+                 cert_failures);
+    return 1;
+  }
+  return rc;
+}
+
+// --- fuzz -------------------------------------------------------------------
+
+/// splitmix64: tiny deterministic PRNG so fuzz runs reproduce from a seed
+/// alone (no std::random_device, no global state).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// `--seed from-commit`: FNV-1a of the git revision, so every CI run of the
+/// same commit replays the same cases while different commits explore
+/// different ones.
+std::uint64_t fuzz_seed_from_commit() {
+  const std::string commit = corpus::campaign_commit();
+  if (commit.empty()) return 1;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : commit) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h == 0 ? 1 : h;
+}
+
+/// One fuzzable family: a deterministic (param, aux) → circuit generator
+/// with a shrinkable size parameter.  `aux` picks targets/limits within the
+/// parameter's reachable range; the generator must stay valid (and keep its
+/// expected status) for every param in [min_param, max_param].
+struct FuzzFamily {
+  const char* name;
+  std::size_t min_param;
+  std::size_t max_param;
+  circuits::CircuitCase (*make)(std::size_t p, std::uint64_t aux);
+};
+
+const std::vector<FuzzFamily>& fuzz_families() {
+  using circuits::CircuitCase;
+  static const std::vector<FuzzFamily> kFamilies{
+      {"counter-unsafe", 2, 9,
+       [](std::size_t p, std::uint64_t aux) {
+         const std::uint64_t max = (1ULL << p) - 1;
+         return circuits::counter_unsafe(p, 1 + aux % max);
+       }},
+      {"counter-wrap-safe", 3, 9,
+       [](std::size_t p, std::uint64_t aux) {
+         const std::uint64_t max = (1ULL << p) - 1;
+         const std::uint64_t limit = 1 + aux % (max / 2);
+         // Any target beyond the wrap limit is unreachable, hence safe.
+         return circuits::counter_wrap_safe(
+             p, limit, limit + 1 + (aux >> 32) % (max - limit));
+       }},
+      {"counter-enable-unsafe", 2, 8,
+       [](std::size_t p, std::uint64_t aux) {
+         return circuits::counter_enable_unsafe(p,
+                                                1 + aux % ((1ULL << p) - 1));
+       }},
+      {"combination-lock-unsafe", 2, 5,
+       [](std::size_t p, std::uint64_t aux) {
+         std::vector<std::uint64_t> digits(p);
+         for (std::size_t i = 0; i < p; ++i) digits[i] = (aux >> (2 * i)) & 3u;
+         return circuits::combination_lock_unsafe(2, digits);
+       }},
+      {"combination-lock-safe", 2, 5,
+       [](std::size_t p, std::uint64_t aux) {
+         std::vector<std::uint64_t> digits(p);
+         for (std::size_t i = 0; i < p; ++i) digits[i] = (aux >> (2 * i)) & 3u;
+         return circuits::combination_lock_safe(2, digits, aux % p);
+       }},
+      {"shift-register", 2, 12,
+       [](std::size_t p, std::uint64_t aux) {
+         return circuits::shift_register(p, (aux & 1) != 0);
+       }},
+      {"token-ring-safe", 2, 8,
+       [](std::size_t p, std::uint64_t) {
+         return circuits::token_ring_safe(p);
+       }},
+      {"token-ring-unsafe", 2, 8,
+       [](std::size_t p, std::uint64_t) {
+         return circuits::token_ring_unsafe(p);
+       }},
+      {"arbiter-safe", 2, 6,
+       [](std::size_t p, std::uint64_t) { return circuits::arbiter_safe(p); }},
+      {"arbiter-unsafe", 2, 6,
+       [](std::size_t p, std::uint64_t) {
+         return circuits::arbiter_unsafe(p);
+       }},
+      {"gray-counter-safe", 2, 8,
+       [](std::size_t p, std::uint64_t) {
+         return circuits::gray_counter_safe(p);
+       }},
+      {"gray-counter-unsafe", 2, 8,
+       [](std::size_t p, std::uint64_t) {
+         return circuits::gray_counter_unsafe(p);
+       }},
+      {"ring-parity-safe", 2, 10,
+       [](std::size_t p, std::uint64_t) {
+         return circuits::ring_parity_safe(p);
+       }},
+      // The occupancy counter is p bits, so capacity 2^p - 2 leaves room
+      // for the unsafe variant's off-by-one full check (cap + 1 < 2^p).
+      {"fifo-safe", 2, 6,
+       [](std::size_t p, std::uint64_t) {
+         return circuits::fifo_safe(p, (1ULL << p) - 2);
+       }},
+      {"fifo-unsafe", 2, 6,
+       [](std::size_t p, std::uint64_t) {
+         return circuits::fifo_unsafe(p, (1ULL << p) - 2);
+       }},
+      {"saturating-accumulator-safe", 2, 6,
+       [](std::size_t p, std::uint64_t) {
+         return circuits::saturating_accumulator_safe(p, (1ULL << p) - 2);
+       }},
+      {"saturating-accumulator-unsafe", 2, 6,
+       [](std::size_t p, std::uint64_t) {
+         return circuits::saturating_accumulator_unsafe(p, (1ULL << p) - 2);
+       }},
+      {"twin-counters-safe", 2, 8,
+       [](std::size_t p, std::uint64_t) {
+         return circuits::twin_counters_safe(p);
+       }},
+      {"twin-counters-unsafe", 2, 8,
+       [](std::size_t p, std::uint64_t) {
+         return circuits::twin_counters_unsafe(p);
+       }},
+  };
+  return kFamilies;
+}
+
+/// Injects one seeded fault: flip a latch's reset value, or negate its
+/// next-state function.  The mutant's expected status is unknown — it only
+/// participates in engine-vs-engine and certificate cross-checks.
+void apply_mutation(circuits::CircuitCase& cc, std::uint64_t key) {
+  const std::vector<std::uint32_t>& latches = cc.aig.latches();
+  if (latches.empty()) return;
+  const std::size_t idx = key % latches.size();
+  const std::uint32_t node = latches[idx];
+  const aig::AigLit latch = aig::AigLit::make(node);
+  if (((key >> 8) & 1) != 0) {
+    cc.aig.set_init(latch, cc.aig.init(node) == aig::l_True ? aig::l_False
+                                                            : aig::l_True);
+    cc.name += "__mut-init" + std::to_string(idx);
+  } else {
+    cc.aig.set_next(latch, !cc.aig.next(node));
+    cc.name += "__mut-next" + std::to_string(idx);
+  }
+  cc.expected_cex_length = -1;
+}
+
+/// A generated fuzz case plus the key that regenerates it (for shrinking).
+struct FuzzCase {
+  circuits::CircuitCase cc;
+  std::size_t family_index = 0;
+  std::size_t param = 0;
+  std::uint64_t aux = 0;
+  std::uint64_t mut_key = 0;  // 0 = unmutated
+  bool expected_known = true;
+};
+
+FuzzCase make_fuzz_case(std::size_t family_index, std::size_t param,
+                        std::uint64_t aux, std::uint64_t mut_key) {
+  FuzzCase fc;
+  fc.cc = fuzz_families()[family_index].make(param, aux);
+  fc.family_index = family_index;
+  fc.param = param;
+  fc.aux = aux;
+  fc.mut_key = mut_key;
+  if (mut_key != 0) {
+    apply_mutation(fc.cc, mut_key);
+    fc.expected_known = false;
+  }
+  return fc;
+}
+
+/// Runs every engine on the case, certifies each definitive verdict, and
+/// returns the first cross-check violation: a rejected witness or
+/// certificate, a verdict contradicting the family's expected status, or a
+/// SAFE-vs-UNSAFE disagreement between engines.
+struct FuzzOutcome {
+  bool failed = false;
+  std::string why;
+};
+
+FuzzOutcome evaluate_fuzz_case(const FuzzCase& fc,
+                               const std::vector<std::string>& engines,
+                               std::int64_t budget_ms, std::uint64_t seed) {
+  FuzzOutcome out;
+  const ts::TransitionSystem ts =
+      ts::TransitionSystem::from_aig(fc.cc.aig, 0);
+  std::string safe_engine;
+  std::string unsafe_engine;
+  for (const std::string& spec : engines) {
+    check::CheckOptions co;
+    co.engine_spec = spec;
+    co.budget_ms = budget_ms;
+    co.seed = seed;
+    co.verify_witness = true;
+    const check::CheckResult r = check::check_ts(ts, co);
+    if (r.verdict == ic3::Verdict::kUnknown) continue;
+    const bool safe = r.verdict == ic3::Verdict::kSafe;
+    if (!r.witness_error.empty()) {
+      out.failed = true;
+      out.why = "witness check failed for " + spec + ": " + r.witness_error;
+      return out;
+    }
+    std::string why;
+    const std::optional<cert::Certificate> c =
+        cert::from_verdict(ts, r.verdict, r.invariant, r.trace, r.kind_k,
+                           r.kind_simple_path, /*property_index=*/0, &why);
+    if (!c.has_value()) {
+      out.failed = true;
+      out.why = "no certificate from " + spec + " (" +
+                ic3::to_string(r.verdict) + "): " + why;
+      return out;
+    }
+    const ic3::CheckOutcome checked = cert::check(ts, *c, seed + 17);
+    if (!checked.ok) {
+      out.failed = true;
+      out.why = "certificate from " + spec + " rejected: " + checked.reason;
+      return out;
+    }
+    if (fc.expected_known && safe != fc.cc.expected_safe) {
+      out.failed = true;
+      out.why = spec + " reported " + ic3::to_string(r.verdict) +
+                " but the family expects " +
+                (fc.cc.expected_safe ? "SAFE" : "UNSAFE");
+      return out;
+    }
+    (safe ? safe_engine : unsafe_engine) = spec;
+  }
+  if (!safe_engine.empty() && !unsafe_engine.empty()) {
+    out.failed = true;
+    out.why = "engines disagree: " + safe_engine + " says SAFE, " +
+              unsafe_engine + " says UNSAFE";
+  }
+  return out;
+}
+
+/// Re-generates the failing case at every smaller family parameter (same
+/// aux/mutation key) and returns the smallest one that still fails —
+/// deterministic generation makes the scan exact, not heuristic.
+FuzzCase shrink_fuzz_case(const FuzzCase& failing,
+                          const std::vector<std::string>& engines,
+                          std::int64_t budget_ms, std::uint64_t seed,
+                          std::string* why) {
+  const FuzzFamily& fam = fuzz_families()[failing.family_index];
+  for (std::size_t p = fam.min_param; p < failing.param; ++p) {
+    FuzzCase candidate =
+        make_fuzz_case(failing.family_index, p, failing.aux, failing.mut_key);
+    const FuzzOutcome v =
+        evaluate_fuzz_case(candidate, engines, budget_ms, seed);
+    if (v.failed) {
+      *why = v.why;
+      return candidate;
+    }
+  }
+  return failing;
+}
+
+int cmd_fuzz(int argc, const char* const* argv) {
+  std::int64_t cases = 25;
+  std::string seed_text = "1";
+  std::string engines_text = "ic3-ctg+kind+bmc";
+  std::int64_t budget_ms = 2000;
+  std::string out_dir;
+  OptionParser parser(
+      "pilot-bench fuzz — cross-check engines on random circuit-family "
+      "instances and seeded single-fault mutants.\nEach case runs every "
+      "engine; definitive verdicts must agree with each other, with the "
+      "family's expected status (unmutated cases), and must certify under "
+      "the independent checker.  Failures shrink to the smallest family "
+      "parameter that still reproduces.\nExit codes: 0 = all cases clean, "
+      "1 = cross-check failure, 3 = usage error.");
+  parser.add_int("cases", &cases, "number of fuzz cases to generate");
+  parser.add_string("seed", &seed_text,
+                    "u64 PRNG seed, or 'from-commit' to derive one from the "
+                    "git revision");
+  parser.add_string("engines", &engines_text,
+                    "engine specs to cross-check, '+'-separated");
+  parser.add_int("budget-ms", &budget_ms,
+                 "per-engine wall-clock budget per case");
+  parser.add_string("out", &out_dir,
+                    "write shrunk .aag reproducers here (the directory must "
+                    "already exist)");
+  if (!parser.parse(argc, argv)) return 3;
+  if (cases <= 0) {
+    std::fprintf(stderr, "pilot-bench fuzz: --cases must be >= 1, got %lld\n",
+                 static_cast<long long>(cases));
+    return 3;
+  }
+
+  std::uint64_t seed = 0;
+  if (seed_text == "from-commit") {
+    seed = fuzz_seed_from_commit();
+    std::fprintf(stderr, "[pilot-bench] fuzz seed %llu (from commit '%s')\n",
+                 static_cast<unsigned long long>(seed),
+                 corpus::campaign_commit().c_str());
+  } else {
+    char* end = nullptr;
+    seed = std::strtoull(seed_text.c_str(), &end, 10);
+    if (end == seed_text.c_str() || *end != '\0') {
+      std::fprintf(stderr,
+                   "pilot-bench fuzz: --seed expects a u64 or "
+                   "'from-commit', got '%s'\n",
+                   seed_text.c_str());
+      return 3;
+    }
+  }
+
+  const std::vector<std::string> engines = split_engines(engines_text);
+  const std::vector<FuzzFamily>& families = fuzz_families();
+  std::uint64_t rng = seed;
+  std::size_t failures = 0;
+  for (std::int64_t i = 0; i < cases; ++i) {
+    const std::size_t family_index = splitmix64(rng) % families.size();
+    const FuzzFamily& fam = families[family_index];
+    const std::size_t param =
+        fam.min_param +
+        splitmix64(rng) % (fam.max_param - fam.min_param + 1);
+    const std::uint64_t aux = splitmix64(rng);
+    // Every ~third case carries one injected fault, so the cross-check also
+    // sees circuits whose status no family invariant predicts.
+    std::uint64_t mut_key = 0;
+    if (splitmix64(rng) % 3 == 0) {
+      mut_key = splitmix64(rng);
+      if (mut_key == 0) mut_key = 1;
+    }
+    const FuzzCase fc = make_fuzz_case(family_index, param, aux, mut_key);
+    const FuzzOutcome v =
+        evaluate_fuzz_case(fc, engines, budget_ms, seed + 1 + i);
+    if (!v.failed) {
+      std::fprintf(stderr, "[pilot-bench] fuzz %lld/%lld %s: ok\n",
+                   static_cast<long long>(i + 1),
+                   static_cast<long long>(cases), fc.cc.name.c_str());
+      continue;
+    }
+    ++failures;
+    std::fprintf(stderr, "[pilot-bench] fuzz FAILURE on %s: %s\n",
+                 fc.cc.name.c_str(), v.why.c_str());
+    std::string shrunk_why = v.why;
+    const FuzzCase minimal =
+        shrink_fuzz_case(fc, engines, budget_ms, seed + 1 + i, &shrunk_why);
+    if (minimal.param != fc.param) {
+      std::fprintf(stderr, "[pilot-bench]   shrunk to %s: %s\n",
+                   minimal.cc.name.c_str(), shrunk_why.c_str());
+    }
+    if (!out_dir.empty()) {
+      const std::string path = out_dir + "/" + minimal.cc.name + ".aag";
+      try {
+        aig::write_aiger_file(minimal.cc.aig, path);
+        std::fprintf(stderr, "[pilot-bench]   reproducer: %s\n",
+                     path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[pilot-bench]   cannot write %s: %s\n",
+                     path.c_str(), e.what());
+      }
+    }
+  }
+  std::fprintf(stderr,
+               "[pilot-bench] fuzz: %lld cases, %zu failures (seed %llu)\n",
+               static_cast<long long>(cases), failures,
+               static_cast<unsigned long long>(seed));
+  return failures == 0 ? 0 : 1;
 }
 
 int cmd_diff(int argc, const char* const* argv) {
@@ -487,6 +888,7 @@ void print_usage() {
       "built-in suites, persisted to an append-only JSONL results db.\n\n"
       "subcommands:\n"
       "  run            run a (corpus × engines) matrix into the db\n"
+      "  fuzz           cross-check engines on random/mutated circuits\n"
       "  diff           compare a campaign against a baseline db\n"
       "  report         aggregate a campaign db per engine and per phase\n"
       "  bench-diff     compare two google-benchmark JSON artifacts\n"
@@ -517,6 +919,7 @@ int main(int argc, char** argv) {
 
   try {
     if (cmd == "run") return cmd_run(sub_argc, args.data());
+    if (cmd == "fuzz") return cmd_fuzz(sub_argc, args.data());
     if (cmd == "diff") return cmd_diff(sub_argc, args.data());
     if (cmd == "report") return cmd_report(sub_argc, args.data());
     if (cmd == "validate-json") {

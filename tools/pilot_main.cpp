@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "aig/aiger_io.hpp"
+#include "cert/certificate.hpp"
 #include "check/checker.hpp"
 #include "check/runner.hpp"
 #include "circuits/families.hpp"
@@ -125,9 +126,89 @@ std::vector<std::string> family_names() {
   return names;
 }
 
+/// `pilot certify <model> <certificate>` — the independent checker.
+/// argv[0] is "certify" (main() shifts the program name off).
+int run_certify(int argc, char** argv) {
+  std::int64_t seed = 0;
+  std::string log_level;
+  OptionParser parser(
+      "pilot certify — independently re-check a saved verdict certificate "
+      "against its model.\n"
+      "usage: pilot certify <model.aag|model.aig> <certificate>\n"
+      "The checker deliberately uses a different solver configuration than "
+      "the engines (trail reuse off, inprocessing off, fresh variable "
+      "order), so a bug in the optimized hot path cannot vouch for itself.\n"
+      "exit codes: 0 = certificate valid, 3 = usage/parse error, "
+      "4 = certificate rejected");
+  parser.add_int("seed", &seed, "checker randomization seed");
+  parser.add_choice("log-level", &log_level,
+                    {"silent", "error", "warn", "info", "debug"},
+                    "log verbosity (overrides the PILOT_LOG environment "
+                    "variable)");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(parser.help_text().c_str(), stdout);
+      return 0;
+    }
+  }
+  if (!parser.parse(argc, argv)) return 3;
+  logcfg::init_from_env();
+  if (!log_level.empty()) {
+    logcfg::set_level(*logcfg::level_from_string(log_level));
+  }
+
+  if (parser.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "pilot certify: expected exactly 2 arguments "
+                 "(<model.aag|model.aig> <certificate>), got %zu\n"
+                 "(try `pilot certify --help`)\n",
+                 parser.positional().size());
+    return 3;
+  }
+  const std::string& model_path = parser.positional()[0];
+  const std::string& cert_path = parser.positional()[1];
+
+  try {
+    const aig::Aig model = aig::read_aiger_file(model_path);
+    std::string error;
+    const std::optional<cert::Certificate> c = cert::load(cert_path, &error);
+    if (!c.has_value()) {
+      std::fprintf(stderr, "pilot certify: %s: %s\n", cert_path.c_str(),
+                   error.c_str());
+      return 3;
+    }
+    const ts::TransitionSystem ts =
+        ts::TransitionSystem::from_aig(model, c->property_index);
+    const ic3::CheckOutcome outcome =
+        cert::check(ts, *c, static_cast<std::uint64_t>(seed));
+    if (!outcome.ok) {
+      std::printf("REJECTED\n");
+      std::fprintf(stderr, "[pilot] certificate (%s) rejected: %s\n",
+                   cert::to_string(c->kind), outcome.reason.c_str());
+      return 4;
+    }
+    std::printf("CERTIFIED\n");
+    std::fprintf(stderr,
+                 "[pilot] certificate (%s, property %zu) independently "
+                 "checked against %s\n",
+                 cert::to_string(c->kind), c->property_index,
+                 model_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pilot certify: %s\n", e.what());
+    return 3;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Subcommand dispatch before flag parsing: `pilot certify <aig> <cert>`.
+  if (argc > 1 && std::string(argv[1]) == "certify") {
+    return run_certify(argc - 1, argv + 1);
+  }
+
   std::string engine = "ic3-ctg-pl";
   std::string gen_spec;
   std::string lift_sim;
@@ -157,7 +238,9 @@ int main(int argc, char** argv) {
       "from counterexamples to propagation (DAC'24).\n"
       "usage: pilot [options] <model.aag|model.aig>\n"
       "   or: pilot --family FAMILY [--family-out FILE] [options]\n"
-      "exit codes: 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 3 = error");
+      "   or: pilot certify <model.aag|model.aig> <certificate>\n"
+      "exit codes: 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN, 3 = usage/internal "
+      "error, 4 = certification failure");
   std::string engine_help = "engine configuration (-pl = predicted lemmas):";
   for (const std::string& name : engine::backend_names()) {
     engine_help += " " + name;
@@ -199,6 +282,13 @@ int main(int argc, char** argv) {
   parser.add_flag("verify-witness", &verify_witness,
                   "re-check the produced certificate (default on; "
                   "--no-verify-witness to skip)");
+  std::string certify_out;
+  parser.add_string("certify", &certify_out,
+                    "emit the verdict's certificate and independently "
+                    "re-check it (exit 4 on failure).  Single-file mode: "
+                    "certificate file path (invariant certificates also "
+                    "write a <path>.aag certificate circuit); batch mode: "
+                    "existing directory for per-case certificates");
   parser.add_flag("stats", &show_stats, "print engine statistics to stderr");
   parser.add_flag("witness", &print_witness,
                   "print the certificate in AIGER/HWMCC witness format");
@@ -339,6 +429,10 @@ int main(int argc, char** argv) {
       mo.seed = static_cast<std::uint64_t>(seed);
       mo.jobs = static_cast<std::size_t>(jobs);
       mo.verify_witness = verify_witness;
+      if (!certify_out.empty()) {
+        mo.certify = true;
+        mo.cert_dir = certify_out;
+      }
       mo.strict = false;  // report mismatches via the exit code instead
       const std::vector<check::RunRecord> records =
           check::run_matrix(cases, {engine}, mo);
@@ -355,6 +449,10 @@ int main(int argc, char** argv) {
         }
       }
       if (!dump_trace()) return 3;
+      std::size_t cert_failures = 0;
+      for (const check::RunRecord& r : records) {
+        if (!r.cert_status.empty() && r.cert_status != "ok") ++cert_failures;
+      }
       const corpus::CampaignSummary s = corpus::summarize_campaign(records);
       std::fprintf(stderr,
                    "[pilot] %zu cases with %s: %zu solved, %zu unknown, "
@@ -363,6 +461,11 @@ int main(int argc, char** argv) {
                    s.mismatches, s.errors,
                    out_path.empty() ? "" : ", rows appended to ",
                    out_path.c_str());
+      if (cert_failures > 0) {
+        std::fprintf(stderr, "[pilot] %zu certificate check failure%s\n",
+                     cert_failures, cert_failures == 1 ? "" : "s");
+        return 4;
+      }
       return s.exit_code();
     }
 
@@ -468,10 +571,52 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(r.exchange.delivered));
       }
     }
+    // A produced-but-invalid witness/invariant is a certification failure
+    // (exit 4), distinct from usage/internal errors (exit 3).
     if (!r.witness_error.empty()) {
       std::fprintf(stderr, "[pilot] WITNESS ERROR: %s\n",
                    r.witness_error.c_str());
-      return 3;
+      return 4;
+    }
+    if (!certify_out.empty()) {
+      if (r.verdict == ic3::Verdict::kUnknown) {
+        std::fprintf(stderr,
+                     "[pilot] no certificate written: verdict is UNKNOWN\n");
+      } else {
+        std::string why;
+        const std::optional<cert::Certificate> c = cert::from_verdict(
+            ts, r.verdict, r.invariant, r.trace, r.kind_k, r.kind_simple_path,
+            opts.property_index, &why);
+        if (!c.has_value()) {
+          std::fprintf(stderr, "[pilot] CERTIFICATION FAILED: %s\n",
+                       why.c_str());
+          return 4;
+        }
+        const ic3::CheckOutcome outcome = cert::check(ts, *c, opts.seed);
+        if (!outcome.ok) {
+          std::fprintf(stderr, "[pilot] CERTIFICATION FAILED: %s\n",
+                       outcome.reason.c_str());
+          return 4;
+        }
+        if (!cert::save(*c, certify_out)) {
+          std::fprintf(stderr, "pilot: cannot write certificate to %s\n",
+                       certify_out.c_str());
+          return 3;
+        }
+        std::fprintf(stderr,
+                     "[pilot] certificate (%s) independently checked, "
+                     "written to %s\n",
+                     cert::to_string(c->kind), certify_out.c_str());
+        if (c->kind == cert::Certificate::Kind::kInvariant) {
+          const std::string circuit_path = certify_out + ".aag";
+          aig::write_aiger_file(cert::certificate_circuit(ts, *c),
+                                circuit_path);
+          std::fprintf(stderr,
+                       "[pilot] certificate circuit written to %s (3 bad "
+                       "outputs; all must be unsatisfiable)\n",
+                       circuit_path.c_str());
+        }
+      }
     }
     if (show_stats) {
       std::fprintf(stderr, "[pilot] %s\n", r.stats.summary().c_str());
