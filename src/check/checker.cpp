@@ -108,6 +108,7 @@ CheckResult run_portfolio_backends(const ts::TransitionSystem& ts,
   po.gen_ternary_filter = options.gen_ternary_filter;
   po.sat_inprocess = options.sat_inprocess;
   po.gen_batch = options.gen_batch;
+  po.gen_batch_adaptive = options.gen_batch_adaptive;
   po.share_lemmas = share_lemmas;
   // The certificate gate rides the verify-witness switch: every definitive
   // verdict must re-check under the independent checker before it can win
@@ -152,6 +153,7 @@ CheckResult check_ts(const ts::TransitionSystem& ts,
   ctx.gen_ternary_filter = options.gen_ternary_filter;
   ctx.sat_inprocess = options.sat_inprocess;
   ctx.gen_batch = options.gen_batch;
+  ctx.gen_batch_adaptive = options.gen_batch_adaptive;
   const std::unique_ptr<engine::Backend> backend =
       engine::make_backend(spec, ts, ctx);
   engine::EngineResult r =

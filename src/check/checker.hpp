@@ -74,6 +74,10 @@ struct CheckOptions {
   /// Batched generalization probe width ("--gen-batch N", 1 = off); unset =
   /// the config default.  Same scope as lift_sim.
   std::optional<int> gen_batch;
+  /// Adaptive batch width ("--gen-batch-adaptive on|off"): size probe
+  /// groups from the observed candidate failure rate instead of the fixed
+  /// gen_batch.  Unset = the config default (off).  Same scope as lift_sim.
+  std::optional<bool> gen_batch_adaptive;
   /// Portfolio runs: share validated lemmas between the racing IC3
   /// backends (also enabled by the "portfolio-x" spec form).
   bool share_lemmas = false;

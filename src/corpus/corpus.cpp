@@ -61,4 +61,42 @@ std::vector<Case> resolve_corpus(const std::string& spec) {
   return std::move(report.cases);
 }
 
+ShardSpec parse_shard_spec(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  ShardSpec spec;
+  try {
+    if (slash == std::string::npos) throw std::invalid_argument("no slash");
+    spec.index = std::stoull(text.substr(0, slash));
+    spec.count = std::stoull(text.substr(slash + 1));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("shard spec '" + text +
+                                "': expected \"i/n\" with 0 <= i < n");
+  }
+  if (spec.count == 0 || spec.index >= spec.count) {
+    throw std::invalid_argument("shard spec '" + text +
+                                "': expected \"i/n\" with 0 <= i < n");
+  }
+  return spec;
+}
+
+std::vector<Case> shard_cases(const std::vector<Case>& cases,
+                              const ShardSpec& shard) {
+  // Numeric FNV-1a over the shard key.  The content hash is preferred (two
+  // manifests listing the same file shard it identically whatever the case
+  // is named); synthetic cases fall back to their stable family names.
+  const auto key_hash = [](const Case& c) {
+    const std::string& key = c.content_hash.empty() ? c.name : c.content_hash;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char ch : key) {
+      h = (h ^ static_cast<unsigned char>(ch)) * 0x100000001b3ULL;
+    }
+    return h;
+  };
+  std::vector<Case> out;
+  for (const Case& c : cases) {
+    if (key_hash(c) % shard.count == shard.index) out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace pilot::corpus

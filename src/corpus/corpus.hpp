@@ -71,4 +71,22 @@ struct Case {
 /// `--corpus` flags.
 [[nodiscard]] std::vector<Case> resolve_corpus(const std::string& spec);
 
+/// Campaign shard selector, parsed from "i/n" (0 ≤ i < n).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+/// Parses "i/n"; throws std::invalid_argument on malformed text, i ≥ n, or
+/// n == 0.
+[[nodiscard]] ShardSpec parse_shard_spec(const std::string& text);
+
+/// Deterministic shard partition: keeps the cases whose shard key — the
+/// content hash when recorded, the case name otherwise — FNV-1a-hashes to
+/// `shard.index` mod `shard.count`.  Membership depends only on the case
+/// itself, never on manifest order, so the n shards of a corpus are
+/// disjoint and complete by construction and stable across reorderings.
+[[nodiscard]] std::vector<Case> shard_cases(const std::vector<Case>& cases,
+                                            const ShardSpec& shard);
+
 }  // namespace pilot::corpus

@@ -87,6 +87,12 @@ json::Value stats_to_json(const ic3::Ic3Stats& s) {
   o["sat_scc_merged"] = s.sat_scc_merged_vars;
   o["batched_drop_solves"] = s.num_batched_drop_solves;
   o["batched_drop_answers"] = s.num_batched_drop_answers;
+  // Adaptive batch width (PR 10): emitted only when the adaptive sizing
+  // actually ran, so fixed-width rows keep their pre-existing shape.
+  if (s.num_adaptive_batch_updates != 0) {
+    o["adaptive_batch_updates"] = s.num_adaptive_batch_updates;
+    o["adaptive_batch_width_sum"] = s.adaptive_batch_width_sum;
+  }
   o["rebuild_subsumed"] = s.num_rebuild_subsumed;
   // Timing + per-phase profile (PR 8): coarse time_* fields plus one
   // {"seconds", "calls"} object per phase that actually ran, keyed by the
@@ -172,6 +178,8 @@ ic3::Ic3Stats stats_from_json(const json::Value& v) {
   s.sat_scc_merged_vars = v.at("sat_scc_merged").as_uint();
   s.num_batched_drop_solves = v.at("batched_drop_solves").as_uint();
   s.num_batched_drop_answers = v.at("batched_drop_answers").as_uint();
+  s.num_adaptive_batch_updates = v.at("adaptive_batch_updates").as_uint();
+  s.adaptive_batch_width_sum = v.at("adaptive_batch_width_sum").as_uint();
   s.num_rebuild_subsumed = v.at("rebuild_subsumed").as_uint();
   // Timing + phases (PR 8): absent in older rows — the same null/0
   // fallback applies, and phase names a future build no longer knows are
@@ -210,6 +218,19 @@ json::Value to_json(const RunRow& row) {
   // rows written without --certify stay byte-identical to older builds.
   if (!r.cert_status.empty()) o["cert_status"] = r.cert_status;
   if (!r.cert_path.empty()) o["cert_path"] = r.cert_path;
+  // Serving-layer fields (PR 10): the canonical structure hash + shape
+  // features every loaded case records (advisor history), and the
+  // cache/advisor outcomes when a cache or advisor was attached.  All
+  // absent in older rows; the loader's null/0 fallbacks keep existing
+  // baselines loadable without regeneration.
+  if (!r.content_hash.empty()) {
+    o["content_hash"] = r.content_hash;
+    o["inputs"] = r.num_inputs;
+    o["latches"] = r.num_latches;
+    o["ands"] = r.num_ands;
+  }
+  if (!r.cache_status.empty()) o["cache"] = r.cache_status;
+  if (!r.advice.empty()) o["advice"] = r.advice;
   o["stats"] = stats_to_json(r.stats);
   o["corpus"] = row.context.corpus;
   o["commit"] = row.context.commit;
@@ -240,6 +261,13 @@ RunRow row_from_json(const json::Value& v) {
   r.error = v.at("error").as_string();
   r.cert_status = v.at("cert_status").as_string();  // absent in old rows
   r.cert_path = v.at("cert_path").as_string();      // absent in old rows
+  // Serving-layer fields (PR 10) — absent in old rows, same tolerance.
+  r.content_hash = v.at("content_hash").as_string();
+  r.num_inputs = v.at("inputs").as_uint();
+  r.num_latches = v.at("latches").as_uint();
+  r.num_ands = v.at("ands").as_uint();
+  r.cache_status = v.at("cache").as_string();
+  r.advice = v.at("advice").as_string();
   r.stats = stats_from_json(v.at("stats"));
   row.context.corpus = v.at("corpus").as_string();
   row.context.commit = v.at("commit").as_string();

@@ -35,6 +35,9 @@ class Ic3Backend final : public Backend {
     }
     if (ctx.sat_inprocess.has_value()) cfg_.sat_inprocess = *ctx.sat_inprocess;
     if (ctx.gen_batch.has_value()) cfg_.gen_batch = *ctx.gen_batch;
+    if (ctx.gen_batch_adaptive.has_value()) {
+      cfg_.gen_batch_adaptive = *ctx.gen_batch_adaptive;
+    }
     cfg_.lemma_bus = ctx.lemma_bus;
     cfg_.progress = ctx.progress;
   }

@@ -82,6 +82,10 @@ struct BackendContext {
   /// Batched generalization probe width override (--gen-batch); 1 disables
   /// batching, unset = the config default.
   std::optional<int> gen_batch;
+  /// Adaptive batch-width override (--gen-batch-adaptive): scale the probe
+  /// group size from the observed candidate failure rate; unset = the
+  /// config default (off).
+  std::optional<bool> gen_batch_adaptive;
   /// Portfolio lemma exchange endpoint for this backend (non-owning, may
   /// be null; engine/lemma_exchange.hpp).  IC3-family backends publish
   /// installed lemmas and import validated peer lemmas through it.

@@ -93,6 +93,7 @@ PortfolioResult run_portfolio(const ts::TransitionSystem& ts,
     ctx.gen_ternary_filter = options.gen_ternary_filter;
     ctx.sat_inprocess = options.sat_inprocess;
     ctx.gen_batch = options.gen_batch;
+    ctx.gen_batch_adaptive = options.gen_batch_adaptive;
     if (hub != nullptr) {
       buses.push_back(std::make_unique<PeerBus>(*hub, hub->add_peer()));
       ctx.lemma_bus = buses.back().get();

@@ -52,6 +52,7 @@ struct PortfolioOptions {
   /// every backend (unset = config defaults); see BackendContext.
   std::optional<bool> sat_inprocess;
   std::optional<int> gen_batch;
+  std::optional<bool> gen_batch_adaptive;
   /// Share generalized lemmas between the racing backends through a
   /// LemmaExchange hub; every import is re-validated by the importer, so
   /// verdicts stay sound and deterministic.

@@ -128,6 +128,15 @@ struct Config {
   /// query it also witnesses.  1 disables batching (sequential drop loop);
   /// ctgDown is never batched (it consumes each CTI individually).
   int gen_batch = 4;
+  /// Adaptive batch width: instead of the fixed gen_batch, size each probe
+  /// group from the observed candidate failure rate f.  A batch solve is
+  /// SAT ⟺ *all* k candidates fail (probability ≈ f^k), so the width that
+  /// makes both outcomes equally likely — and a solve maximally informative
+  /// — is k ≈ ln(0.5)/ln(f), clamped to [1, gen_batch_max].  Off by
+  /// default; verdict-preserving either way (batching is exact).
+  bool gen_batch_adaptive = false;
+  /// Upper clamp for the adaptive width.
+  int gen_batch_max = 8;
   /// Carry saved phases and (normalized) variable activities into the
   /// fresh solver when maybe_rebuild() retires one, instead of restarting
   /// the search heuristics from zero.

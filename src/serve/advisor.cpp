@@ -1,0 +1,112 @@
+#include "serve/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "corpus/results_db.hpp"
+
+namespace pilot::serve {
+
+namespace {
+
+void fill_features(double out[3], std::size_t inputs, std::size_t latches,
+                   std::size_t ands) {
+  // log1p compresses the heavy-tailed size distribution of HWMCC-style
+  // corpora: a 10k-gate and an 11k-gate circuit are neighbours, a 10-gate
+  // and a 1k-gate circuit are not — which raw L2 would invert.
+  out[0] = std::log1p(static_cast<double>(inputs));
+  out[1] = std::log1p(static_cast<double>(latches));
+  out[2] = std::log1p(static_cast<double>(ands));
+}
+
+double distance(const double a[3], const double b[3]) {
+  double d = 0.0;
+  for (int i = 0; i < 3; ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(d);
+}
+
+}  // namespace
+
+std::int64_t Advisor::scaled_budget_ms(double neighbour_seconds) {
+  const double scaled = neighbour_seconds * 1.5 * 1000.0;
+  return std::max<std::int64_t>(100, static_cast<std::int64_t>(scaled) + 1);
+}
+
+Advisor Advisor::from_db(const corpus::ResultsDb& db) {
+  Advisor a;
+  for (const corpus::RunRow& row : db.rows()) {
+    const check::RunRecord& r = row.record;
+    if (!r.solved) continue;
+    if (r.num_inputs == 0 && r.num_latches == 0 && r.num_ands == 0 &&
+        r.content_hash.empty()) {
+      continue;  // pre-feature row: nothing to match on
+    }
+    HistoryRow h;
+    h.hash = r.content_hash;
+    h.case_name = r.case_name;
+    h.engine = r.engine;
+    h.seconds = r.seconds;
+    fill_features(h.features, r.num_inputs, r.num_latches, r.num_ands);
+    const std::size_t index = a.rows_.size();
+    a.rows_.push_back(std::move(h));
+    if (!a.rows_.back().hash.empty()) {
+      const auto it = a.by_hash_.find(a.rows_.back().hash);
+      if (it == a.by_hash_.end() ||
+          a.rows_[it->second].seconds > a.rows_.back().seconds) {
+        a.by_hash_[a.rows_.back().hash] = index;
+      }
+    }
+  }
+  return a;
+}
+
+Advisor Advisor::from_file(const std::string& path) {
+  return from_db(corpus::ResultsDb::load(path));
+}
+
+std::optional<Advice> Advisor::advise(const std::string& hash,
+                                      std::size_t num_inputs,
+                                      std::size_t num_latches,
+                                      std::size_t num_ands) const {
+  if (rows_.empty()) return std::nullopt;
+
+  if (!hash.empty()) {
+    const auto it = by_hash_.find(hash);
+    if (it != by_hash_.end()) {
+      const HistoryRow& h = rows_[it->second];
+      Advice adv;
+      adv.engine_spec = h.engine;
+      adv.budget_ms = scaled_budget_ms(h.seconds);
+      adv.exact = true;
+      adv.source_case = h.case_name;
+      adv.distance = 0.0;
+      return adv;
+    }
+  }
+
+  double query[3];
+  fill_features(query, num_inputs, num_latches, num_ands);
+  const HistoryRow* best = nullptr;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const HistoryRow& h : rows_) {
+    const double d = distance(query, h.features);
+    // Ties broken toward the faster prior solve: same shape, prefer the
+    // engine that finished first.
+    if (d < best_d || (d == best_d && best != nullptr &&
+                       h.seconds < best->seconds)) {
+      best = &h;
+      best_d = d;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  Advice adv;
+  adv.engine_spec = best->engine;
+  adv.budget_ms = scaled_budget_ms(best->seconds);
+  adv.exact = false;
+  adv.source_case = best->case_name;
+  adv.distance = best_d;
+  return adv;
+}
+
+}  // namespace pilot::serve

@@ -1,0 +1,87 @@
+/// \file advisor.hpp
+/// History-driven engine/budget advice: the second tier of the serving
+/// layer ("pilot-serve").
+///
+/// On a verdict-cache miss, the recorded-run corpus is still a prediction
+/// asset (LeGend's observation): the engine and budget that solved the
+/// nearest prior instance are a far better opening move than burning the
+/// full portfolio budget from scratch.  The advisor indexes a ResultsDb's
+/// *solved* rows and answers in two tiers:
+///
+///   1. exact canonical-hash match — the same circuit solved before (maybe
+///      under another name): replay its engine with ~1.5× the time that
+///      solved it;
+///   2. nearest neighbour by feature distance — L2 over log1p(inputs,
+///      latches, ands), the shape features every row now records.
+///
+/// The advice is an *opening bid*, not a verdict: callers run the advised
+/// engine under the advised budget and fall back to their full engine spec
+/// and budget when it returns UNKNOWN.  Soundness is unaffected either way
+/// — whatever engine answers, its verdict is certified like any other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pilot::corpus {
+class ResultsDb;
+}
+
+namespace pilot::serve {
+
+/// One recommendation: which engine to try first and for how long.
+struct Advice {
+  std::string engine_spec;
+  std::int64_t budget_ms = 0;
+  /// True when keyed by an exact canonical-hash match (tier 1).
+  bool exact = false;
+  /// Provenance: the neighbouring case and its feature distance
+  /// (0 for exact matches).
+  std::string source_case;
+  double distance = 0.0;
+};
+
+class Advisor {
+ public:
+  Advisor() = default;
+
+  /// Indexes every solved row of `db` that carries a nonzero feature
+  /// vector.  Rows without a canonical hash still contribute to the
+  /// nearest-neighbour tier.
+  static Advisor from_db(const corpus::ResultsDb& db);
+  /// Convenience: ResultsDb::load + from_db.
+  static Advisor from_file(const std::string& path);
+
+  /// Advice for a circuit with canonical hash `hash` (may be empty) and
+  /// the given feature counts.  nullopt when no history matches.
+  [[nodiscard]] std::optional<Advice> advise(const std::string& hash,
+                                             std::size_t num_inputs,
+                                             std::size_t num_latches,
+                                             std::size_t num_ands) const;
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// The budget multiplier applied to a neighbour's solve time (~1.5×),
+  /// with a floor so microsecond-fast neighbours still get a workable
+  /// opening budget.
+  static std::int64_t scaled_budget_ms(double neighbour_seconds);
+
+ private:
+  struct HistoryRow {
+    std::string hash;
+    std::string case_name;
+    std::string engine;
+    double seconds = 0.0;
+    double features[3] = {0.0, 0.0, 0.0};  // log1p(inputs, latches, ands)
+  };
+
+  std::vector<HistoryRow> rows_;
+  /// hash → index of the *fastest* solved row with that hash.
+  std::unordered_map<std::string, std::size_t> by_hash_;
+};
+
+}  // namespace pilot::serve

@@ -6,7 +6,9 @@
 ///
 ///   pilot-bench run --corpus <manifest|dir|suite:SIZE> --engines a+b
 ///       [--budget-ms N] [--jobs N] [--out runs.jsonl]
-///       [--certify] [--cert-dir DIR]
+///       [--certify] [--cert-dir DIR] [--shard i/n]
+///       [--cache cache.jsonl] [--advise-from history.jsonl]
+///   pilot-bench merge --out merged.jsonl <shard.jsonl>...
 ///   pilot-bench fuzz [--cases N] [--seed U64|from-commit] [--engines a+b]
 ///       [--budget-ms N] [--out DIR]
 ///   pilot-bench diff <baseline.jsonl> [<current.jsonl>]
@@ -58,6 +60,8 @@
 #include "corpus/manifest.hpp"
 #include "corpus/report.hpp"
 #include "corpus/results_db.hpp"
+#include "serve/advisor.hpp"
+#include "serve/verdict_cache.hpp"
 #include "ts/transition_system.hpp"
 #include "util/json.hpp"
 #include "util/options.hpp"
@@ -127,10 +131,19 @@ int report_campaign(const std::vector<check::RunRecord>& records,
 std::vector<check::RunRecord> run_campaign(
     const std::string& corpus_spec, const std::vector<std::string>& engines,
     const check::RunMatrixOptions& options,
-    corpus::ResultsDb::Writer* writer, corpus::ResultsDb* db_out) {
-  const std::vector<corpus::Case> cases = corpus::resolve_corpus(corpus_spec);
+    corpus::ResultsDb::Writer* writer, corpus::ResultsDb* db_out,
+    const corpus::ShardSpec* shard = nullptr) {
+  std::vector<corpus::Case> cases = corpus::resolve_corpus(corpus_spec);
   if (cases.empty()) {
     throw std::runtime_error("corpus '" + corpus_spec + "' has no cases");
+  }
+  if (shard != nullptr) {
+    const std::size_t total = cases.size();
+    cases = corpus::shard_cases(cases, *shard);
+    std::fprintf(stderr, "[pilot-bench] shard %zu/%zu: %zu of %zu cases\n",
+                 shard->index, shard->count, cases.size(), total);
+    // An empty shard is a legitimate outcome for tiny corpora: the campaign
+    // records zero rows and merge still reassembles the full result.
   }
   std::fprintf(stderr, "[pilot-bench] %zu cases × %zu engines, %lld ms "
                "budget\n",
@@ -161,10 +174,14 @@ int cmd_run(int argc, const char* const* argv) {
   std::string ternary_filter;
   std::string sat_inprocess;
   std::int64_t gen_batch = -1;
+  std::string gen_batch_adaptive;
   bool truncate = false;
   bool verify_witness = true;
   bool certify = false;
   std::string cert_dir;
+  std::string shard_text;
+  std::string cache_path;
+  std::string advise_from;
   OptionParser parser(
       "pilot-bench run — run a (corpus × engines) campaign into a results "
       "db");
@@ -190,6 +207,21 @@ int cmd_run(int argc, const char* const* argv) {
   parser.add_int("gen-batch", &gen_batch,
                  "MIC candidate drops answered per SAT solve (1 = "
                  "sequential; default 4)");
+  parser.add_choice("gen-batch-adaptive", &gen_batch_adaptive, {"on", "off"},
+                    "size MIC probe batches from the observed probe failure "
+                    "rate instead of the fixed --gen-batch width (default "
+                    "off)");
+  parser.add_string("shard", &shard_text,
+                    "run only shard i of n (\"i/n\"): a deterministic "
+                    "content-hash partition, reassembled with `pilot-bench "
+                    "merge`");
+  parser.add_string("cache", &cache_path,
+                    "JSONL verdict cache: serve revalidated hits, store new "
+                    "certified verdicts (created when missing)");
+  parser.add_string("advise-from", &advise_from,
+                    "results db mined for engine/budget advice on cache "
+                    "misses (nearest prior instance opens, full spec is the "
+                    "fallback)");
   parser.add_int("budget-ms", &budget_ms, "per-case wall-clock budget");
   parser.add_int("jobs", &jobs, "worker threads (0 = hardware concurrency)");
   parser.add_int("seed", &seed, "engine seed");
@@ -229,15 +261,41 @@ int cmd_run(int argc, const char* const* argv) {
     return 3;
   }
   if (gen_batch >= 1) options.gen_batch = static_cast<int>(gen_batch);
+  if (!gen_batch_adaptive.empty()) {
+    options.gen_batch_adaptive = gen_batch_adaptive == "on";
+  }
   options.jobs = static_cast<std::size_t>(jobs);
   options.seed = static_cast<std::uint64_t>(seed);
   options.verify_witness = verify_witness;
   options.certify = certify || !cert_dir.empty();
   options.cert_dir = cert_dir;
   options.strict = false;  // mismatches surface via the exit code
+
+  std::optional<corpus::ShardSpec> shard;
+  if (!shard_text.empty()) shard = corpus::parse_shard_spec(shard_text);
+  std::optional<serve::VerdictCache> cache;
+  if (!cache_path.empty()) {
+    cache.emplace(cache_path);
+    options.cache = &*cache;
+    std::fprintf(stderr, "[pilot-bench] cache %s: %zu entries loaded\n",
+                 cache_path.c_str(), cache->size());
+  }
+  serve::Advisor advisor;
+  if (!advise_from.empty()) {
+    advisor = serve::Advisor::from_file(advise_from);
+    options.advisor = &advisor;
+    std::fprintf(stderr, "[pilot-bench] advisor: %zu history rows from %s\n",
+                 advisor.size(), advise_from.c_str());
+  }
+
   corpus::ResultsDb::Writer writer(out_path, truncate);
-  const std::vector<check::RunRecord> records = run_campaign(
-      corpus_spec, split_engines(engines_text), options, &writer, nullptr);
+  const std::vector<check::RunRecord> records =
+      run_campaign(corpus_spec, split_engines(engines_text), options, &writer,
+                   nullptr, shard.has_value() ? &*shard : nullptr);
+  if (cache.has_value()) {
+    std::fprintf(stderr, "[pilot-bench] cache: %s\n",
+                 cache->summary().c_str());
+  }
   const int rc = report_campaign(records, out_path);
   std::size_t cert_failures = 0;
   for (const check::RunRecord& r : records) {
@@ -749,6 +807,42 @@ int cmd_bench_diff(int argc, const char* const* argv) {
   return report.failed(options) ? 1 : 0;
 }
 
+int cmd_merge(int argc, const char* const* argv) {
+  std::string out_path;
+  OptionParser parser(
+      "pilot-bench merge — combine sharded campaign dbs into one.\n"
+      "usage: pilot-bench merge --out merged.jsonl <shard.jsonl>...\n"
+      "Rows are concatenated in argument order and deduped per (case, "
+      "engine), later files superseding earlier ones — so merging the n "
+      "shards of a campaign reproduces the unsharded db (modulo row "
+      "order).");
+  parser.add_string("out", &out_path, "write the merged db here");
+  if (!parser.parse(argc, argv)) return 3;
+  if (out_path.empty()) {
+    std::fprintf(stderr, "pilot-bench merge: --out is required\n");
+    return 3;
+  }
+  if (parser.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: pilot-bench merge --out merged.jsonl "
+                 "<shard.jsonl>...\n");
+    return 3;
+  }
+  corpus::ResultsDb merged;
+  for (const std::string& path : parser.positional()) {
+    const corpus::ResultsDb shard_db = corpus::ResultsDb::load(path);
+    std::fprintf(stderr, "[pilot-bench] %s: %zu rows\n", path.c_str(),
+                 shard_db.rows().size());
+    merged.merge(shard_db);
+  }
+  merged.dedup();
+  merged.save(out_path);
+  std::fprintf(stderr, "[pilot-bench] merged %zu files into %s (%zu rows)\n",
+               parser.positional().size(), out_path.c_str(),
+               merged.rows().size());
+  return 0;
+}
+
 int cmd_report(int argc, const char* const* argv) {
   OptionParser parser(
       "pilot-bench report — aggregate a campaign db per engine and per "
@@ -890,6 +984,7 @@ void print_usage() {
       "  run            run a (corpus × engines) matrix into the db\n"
       "  fuzz           cross-check engines on random/mutated circuits\n"
       "  diff           compare a campaign against a baseline db\n"
+      "  merge          combine sharded campaign dbs into one\n"
       "  report         aggregate a campaign db per engine and per phase\n"
       "  bench-diff     compare two google-benchmark JSON artifacts\n"
       "  make-manifest  export a built-in suite as an on-disk corpus\n"
@@ -921,6 +1016,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(sub_argc, args.data());
     if (cmd == "fuzz") return cmd_fuzz(sub_argc, args.data());
     if (cmd == "diff") return cmd_diff(sub_argc, args.data());
+    if (cmd == "merge") return cmd_merge(sub_argc, args.data());
     if (cmd == "report") return cmd_report(sub_argc, args.data());
     if (cmd == "validate-json") {
       return cmd_validate_json(sub_argc, args.data());
